@@ -1,0 +1,31 @@
+"""Small helpers shared by the benchmark modules.
+
+Because pytest captures per-test stdout, tables printed inside benchmark
+fixtures would normally be invisible in a quiet run.  ``report`` therefore
+both prints a line and records it; the conftest's ``pytest_terminal_summary``
+hook replays every recorded line at the end of the session and writes them to
+``benchmark_tables.txt`` in the repository root, so the reproduced tables are
+always part of the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Lines recorded by :func:`report`, replayed in the terminal summary.
+REPORT_LINES: List[str] = []
+
+
+def report(text: str = "") -> None:
+    """Print ``text`` and record it for the end-of-session summary."""
+    print(text)
+    REPORT_LINES.append(str(text))
+
+
+def print_section(title: str) -> None:
+    """Visually separate benchmark output sections."""
+    bar = "=" * len(title)
+    report("")
+    report(bar)
+    report(title)
+    report(bar)

@@ -1,0 +1,123 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md / the paper.
+
+These are not tables in the paper, but they quantify the components the
+paper argues for:
+
+* MSRE vs MSE loss for the cost estimation network (Section 3.3: MSE
+  over-weights expensive designs);
+* the lambda_2 warm-up schedule (Section 3.4: without it the search can
+  collapse to all-Zero architectures);
+* the Gumbel-softmax temperature of the feature-forwarding path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.functional import mse_loss, msre_loss
+from repro.autograd.optim import Adam
+from repro.core import ClassifierTrainingConfig, DanceConfig, DanceSearcher, EDAPCostFunction
+from repro.evaluator import METRIC_ORDER
+from repro.evaluator.cost_estimation_net import CostEstimationNetwork
+from repro.nas import op_index
+
+from bench_utils import print_section, report
+
+
+def _train_cost_net(dataset, loss_kind: str, epochs: int, rng_seed: int):
+    train, val = dataset
+    network = CostEstimationNetwork(train.encoding, feature_forwarding=True, rng=rng_seed)
+    network.calibrate(train.metric_targets)
+    optimizer = Adam(network.parameters(), lr=1e-3)
+    generator = np.random.default_rng(rng_seed)
+    network.train()
+    for _ in range(epochs):
+        for batch in train.batches(128, rng=generator):
+            predictions = network(Tensor(train.arch_encodings[batch]), Tensor(train.hw_encodings[batch]))
+            if loss_kind == "msre":
+                loss = msre_loss(predictions, train.metric_targets[batch])
+            else:
+                loss = mse_loss(predictions, train.metric_targets[batch])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    network.eval()
+    return network.relative_accuracy(val.arch_encodings, val.metric_targets, val.hw_encodings)
+
+
+def test_ablation_msre_vs_mse_loss(cifar_evaluator_data, budget, benchmark):
+    """MSRE should model *cheap* designs at least as well as MSE does (relative accuracy)."""
+    epochs = max(budget.evaluator_cost_epochs // 2, 10)
+    msre_accuracy = benchmark.pedantic(
+        lambda: _train_cost_net(cifar_evaluator_data, "msre", epochs, 500), iterations=1, rounds=1
+    )
+    mse_accuracy = _train_cost_net(cifar_evaluator_data, "mse", epochs, 500)
+    print_section("Ablation — cost-estimation training loss")
+    for metric in METRIC_ORDER:
+        report(f"  {metric:<12} MSRE acc={msre_accuracy[metric]*100:5.1f}%   MSE acc={mse_accuracy[metric]*100:5.1f}%")
+    mean_msre = np.mean([msre_accuracy[m] for m in METRIC_ORDER])
+    mean_mse = np.mean([mse_accuracy[m] for m in METRIC_ORDER])
+    assert mean_msre >= mean_mse - 0.05
+
+
+def test_ablation_warmup_prevents_architecture_collapse(
+    cifar_nas_space, cifar_cost_table, trained_cifar_evaluator, cifar_images, budget
+):
+    """Without warm-up and with a large lambda_2 the search collapses to (near) all-Zero.
+
+    With warm-up, the architecture retains more non-Zero operations for the
+    same final lambda_2 — the stated purpose of Section 3.4.
+    """
+    train_images, val_images = cifar_images
+    zero = op_index("zero")
+
+    def run(warmup_epochs: int, seed: int):
+        searcher = DanceSearcher(
+            cifar_nas_space,
+            trained_cifar_evaluator,
+            cifar_cost_table,
+            cost_function=EDAPCostFunction(),
+            config=DanceConfig(
+                search_epochs=max(budget.search_epochs, 3),
+                batch_size=32,
+                lambda_2=60.0,
+                warmup_epochs=warmup_epochs,
+                arch_lr=3e-2,
+                final_training=ClassifierTrainingConfig(epochs=1),
+            ),
+            rng=seed,
+        )
+        result = searcher.search(train_images, val_images, retrain_final=False)
+        return int(np.sum(result.op_indices == zero))
+
+    zeros_without_warmup = run(warmup_epochs=0, seed=510)
+    zeros_with_warmup = run(warmup_epochs=max(budget.search_epochs, 3) - 1, seed=510)
+    print_section("Ablation — lambda_2 warm-up")
+    report(f"  #Zero layers without warm-up: {zeros_without_warmup} / 9")
+    report(f"  #Zero layers with    warm-up: {zeros_with_warmup} / 9")
+    assert zeros_with_warmup <= zeros_without_warmup
+
+
+def test_ablation_gumbel_temperature_controls_discreteness(cifar_nas_space, hw_space, trained_cifar_evaluator):
+    """Lower Gumbel temperature makes the forwarded hardware features closer to one-hot."""
+    encoding = trained_cifar_evaluator.encoding
+    arch = Tensor(np.full((1, cifar_nas_space.encoding_width), 1.0 / cifar_nas_space.num_ops))
+
+    def mean_max_probability(temperature: float) -> float:
+        values = []
+        for seed in range(10):
+            soft = trained_cifar_evaluator.hw_generation.forward_gumbel(
+                arch, temperature=temperature, hard=False, rng=seed
+            ).data.reshape(-1)
+            slices = encoding.hw_field_slices()
+            values.append(np.mean([soft[s].max() for s in slices.values()]))
+        return float(np.mean(values))
+
+    sharp = mean_max_probability(0.2)
+    smooth = mean_max_probability(5.0)
+    print_section("Ablation — Gumbel temperature of the feature-forwarding path")
+    report(f"  mean max field probability at T=0.2: {sharp:.3f}")
+    report(f"  mean max field probability at T=5.0: {smooth:.3f}")
+    assert sharp > smooth

@@ -1,0 +1,136 @@
+"""Table 1 — Performance of the evaluator network.
+
+Paper numbers (CIFAR-10 search space, Timeloop+Accelergy ground truth):
+
+    Hardware generation      PE_X 98.9%, PE_Y 98.3%, RF 98.3%, Dataflow 98.8%
+    Cost estimation w/o FF   Latency 93.7%, Energy 96.3%, Area 92.8%
+    Cost estimation w/  FF   Latency 99.6%, Energy 99.7%, Area 99.9%
+    Overall evaluator        Latency 98.3%, Energy 98.3%, Area 99.2%
+
+plus the Section 4.2 observation that the hardware generation *network* is
+orders of magnitude faster than the exhaustive search it imitates
+(0.5 ms vs 112 s in the paper's setup).
+
+This benchmark trains the same components on ground truth produced by our
+analytical oracle and reports the same table.  The asserted shape: every
+hardware-generation head is highly accurate, cost-estimation accuracy is
+high and does not get worse with feature forwarding, and the surrogate
+generation is at least two orders of magnitude faster than exhaustive search.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.evaluator import (
+    Evaluator,
+    HW_FIELD_ORDER,
+    METRIC_ORDER,
+    train_cost_estimation_network,
+    train_evaluator,
+)
+from repro.evaluator.cost_estimation_net import CostEstimationNetwork
+from repro.hwmodel import ExhaustiveHardwareGenerator
+
+from bench_utils import print_section, report
+
+PAPER_TABLE1 = {
+    "hardware_generation": {"pe_x": 0.989, "pe_y": 0.983, "rf_size": 0.983, "dataflow": 0.988},
+    "cost_estimation_no_ff": {"latency_ms": 0.937, "energy_mj": 0.963, "area_mm2": 0.928},
+    "cost_estimation_ff": {"latency_ms": 0.996, "energy_mj": 0.997, "area_mm2": 0.999},
+    "overall": {"latency_ms": 0.983, "energy_mj": 0.983, "area_mm2": 0.992},
+}
+
+
+@pytest.fixture(scope="module")
+def evaluator_result(cifar_nas_space, hw_space, cifar_evaluator_data, budget):
+    train, val = cifar_evaluator_data
+    evaluator = Evaluator(cifar_nas_space, hw_space, feature_forwarding=True, rng=10)
+    result = train_evaluator(
+        evaluator,
+        train,
+        val,
+        hw_epochs=budget.evaluator_hw_epochs,
+        cost_epochs=budget.evaluator_cost_epochs,
+        rng=11,
+    )
+    return evaluator, result
+
+
+@pytest.fixture(scope="module")
+def no_ff_accuracies(cifar_evaluator_data, budget):
+    train, val = cifar_evaluator_data
+    network = CostEstimationNetwork(train.encoding, feature_forwarding=False, rng=12)
+    history = train_cost_estimation_network(
+        network, train, val, epochs=budget.evaluator_cost_epochs, batch_size=128, rng=13
+    )
+    return history.accuracies
+
+
+def test_table1_hardware_generation_accuracy(evaluator_result):
+    """All four hardware-generation heads reach high accuracy (paper: ~99%)."""
+    _, result = evaluator_result
+    accuracies = result.hw_generation_history.accuracies
+    print_section("Table 1 — Hardware generation network (reproduced vs paper)")
+    for field in HW_FIELD_ORDER:
+        report(f"  {field:<10} reproduced={accuracies[field]*100:5.1f}%   paper={PAPER_TABLE1['hardware_generation'][field]*100:5.1f}%")
+    assert all(accuracies[field] > 0.85 for field in HW_FIELD_ORDER)
+
+
+def test_table1_cost_estimation_accuracy_and_feature_forwarding(evaluator_result, no_ff_accuracies):
+    """Cost estimation is accurate, and feature forwarding does not hurt (paper: it helps by ~4.3%p)."""
+    _, result = evaluator_result
+    with_ff = result.cost_estimation_history.accuracies
+    print_section("Table 1 — Cost estimation network (reproduced vs paper)")
+    for metric in METRIC_ORDER:
+        report(
+            f"  {metric:<12} w/o FF reproduced={no_ff_accuracies[metric]*100:5.1f}% (paper {PAPER_TABLE1['cost_estimation_no_ff'][metric]*100:.1f}%)"
+            f"   w/ FF reproduced={with_ff[metric]*100:5.1f}% (paper {PAPER_TABLE1['cost_estimation_ff'][metric]*100:.1f}%)"
+        )
+    mean_no_ff = np.mean([no_ff_accuracies[m] for m in METRIC_ORDER])
+    mean_ff = np.mean([with_ff[m] for m in METRIC_ORDER])
+    assert mean_ff > 0.8, "cost estimation with feature forwarding should be accurate"
+    assert mean_ff >= mean_no_ff - 0.03, "feature forwarding should not degrade accuracy"
+
+
+def test_table1_overall_evaluator_accuracy(evaluator_result, cifar_evaluator_data):
+    """The chained generation -> estimation evaluator stays accurate (paper: ~98-99%)."""
+    evaluator, result = evaluator_result
+    _, val = cifar_evaluator_data
+    overall = result.end_to_end_accuracy
+    print_section("Table 1 — Overall evaluator (reproduced vs paper)")
+    for metric in METRIC_ORDER:
+        report(
+            f"  {metric:<12} reproduced={overall[metric]*100:5.1f}%   paper={PAPER_TABLE1['overall'][metric]*100:5.1f}%"
+        )
+    assert np.mean([overall[m] for m in METRIC_ORDER]) > 0.75
+
+
+def test_generation_speedup_over_exhaustive_search(
+    evaluator_result, cifar_nas_space, hw_space, benchmark
+):
+    """Surrogate hardware generation is orders of magnitude faster than exhaustive search.
+
+    Paper: 0.5 ms (network, one GPU) vs 112 s (exhaustive search, 48 threads).
+    """
+    evaluator, _ = evaluator_result
+    arch = cifar_nas_space.random_architecture(rng=20)
+    encoding = cifar_nas_space.encode_indices(arch)
+    workload = cifar_nas_space.build_workload(arch)
+
+    surrogate_seconds = benchmark(lambda: evaluator.hw_generation.predict_config(encoding))
+    generator = ExhaustiveHardwareGenerator(hw_space)
+    start = time.perf_counter()
+    generator.generate(workload)
+    exhaustive_seconds = time.perf_counter() - start
+
+    stats_mean = benchmark.stats.stats.mean
+    speedup = exhaustive_seconds / max(stats_mean, 1e-9)
+    print_section("Section 4.2 — Hardware generation speed")
+    report(f"  surrogate inference : {stats_mean*1e3:8.3f} ms per architecture")
+    report(f"  exhaustive search   : {exhaustive_seconds*1e3:8.1f} ms per architecture")
+    report(f"  speedup             : {speedup:8.1f}x   (paper: ~2x10^5)")
+    assert speedup > 10.0

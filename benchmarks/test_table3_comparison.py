@@ -1,0 +1,149 @@
+"""Table 3 — Comparison with existing co-exploration algorithms.
+
+Paper rows: prior RL-based co-exploration works train hundreds to thousands
+of candidate networks (e.g. 308 candidates / 103.9 GPU-hours for Jiang et
+al. 2020b, 2300 for Abdelfattah et al. 2020) and often end with lower final
+accuracy, while DANCE trains exactly one candidate via backpropagation and
+finishes in ~3 GPU-hours with the best accuracy.
+
+The hardware environments of the original works are not available, so — as
+the paper itself does — the comparison is about search *cost* structure:
+number of candidates trained and wall-clock time, plus achieved accuracy in
+a shared environment.  We therefore run our REINFORCE-based co-exploration
+comparator and DANCE on the same task and assert:
+
+* DANCE trains exactly 1 candidate; the RL flow trains N >> 1;
+* DANCE's wall-clock search time is lower;
+* DANCE's final accuracy is at least as good (within noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ClassifierTrainingConfig,
+    DanceConfig,
+    DanceSearcher,
+    EDAPCostFunction,
+    RLCoExplorationConfig,
+    RLCoExplorationSearcher,
+    format_comparison_table,
+)
+
+from bench_utils import print_section, report
+
+PAPER_TABLE3 = [
+    ("Hao et al. 2019 (FPGA/DNN co-design)", "68.6% IoU", "N/A", 68, "CD"),
+    ("Lu et al. 2019", "89.7%", "N/A", "N/A", "RL"),
+    ("Yang et al. 2020", "93.2%", "3.5 h", 160, "RL"),
+    ("Abdelfattah et al. 2020", "74.2%", "2300 h", 2300, "RL"),
+    ("Jiang et al. 2020b", "85.2%", "103.9 h", 308, "RL"),
+    ("DANCE", "94.4%", "3 h", 1, "gradient"),
+]
+
+
+@pytest.fixture(scope="module")
+def comparison_results(
+    cifar_nas_space,
+    hw_space,
+    cifar_cost_table,
+    trained_cifar_evaluator,
+    cifar_images,
+    budget,
+):
+    train_images, val_images = cifar_images
+    final_training = ClassifierTrainingConfig(epochs=budget.final_epochs, batch_size=32)
+
+    dance = DanceSearcher(
+        cifar_nas_space,
+        trained_cifar_evaluator,
+        cifar_cost_table,
+        cost_function=EDAPCostFunction(),
+        config=DanceConfig(
+            search_epochs=budget.search_epochs,
+            batch_size=32,
+            lambda_2=0.5,
+            warmup_epochs=1,
+            final_training=final_training,
+        ),
+        rng=200,
+    ).search(train_images, val_images, method_name="DANCE (ours, gradient)")
+
+    rl = RLCoExplorationSearcher(
+        cifar_nas_space,
+        hw_space,
+        cifar_cost_table,
+        cost_function=EDAPCostFunction(),
+        config=RLCoExplorationConfig(
+            num_candidates=budget.rl_candidates,
+            candidate_training=ClassifierTrainingConfig(epochs=1, batch_size=32),
+            final_training=final_training,
+        ),
+        rng=201,
+    ).search(train_images, val_images, method_name="RL co-exploration (comparator)")
+
+    print_section("Table 3 — reproduced comparison (shared environment)")
+    report(format_comparison_table([rl, dance]))
+    print_section("Table 3 — paper reference")
+    for name, acc, hours, candidates, method in PAPER_TABLE3:
+        report(f"  {name:<40} acc={acc:<10} search={hours:<8} candidates={candidates!s:<6} {method}")
+    return {"dance": dance, "rl": rl}
+
+
+def test_table3_dance_trains_single_candidate(comparison_results):
+    """DANCE is gradient-based: exactly one candidate is trained."""
+    assert comparison_results["dance"].candidates_trained == 1
+
+
+def test_table3_rl_trains_many_candidates(comparison_results, budget):
+    """The RL comparator must train every sampled candidate (hundreds in the paper)."""
+    assert comparison_results["rl"].candidates_trained == budget.rl_candidates
+    assert comparison_results["rl"].candidates_trained > comparison_results["dance"].candidates_trained
+
+
+def test_table3_dance_searches_faster(comparison_results):
+    """Per-search wall-clock: the gradient search avoids the per-candidate training cost."""
+    dance_time = comparison_results["dance"].search_seconds
+    rl_time = comparison_results["rl"].search_seconds
+    print_section("Table 3 — search wall-clock")
+    report(f"  DANCE: {dance_time:.1f}s    RL comparator: {rl_time:.1f}s")
+    assert dance_time < rl_time
+
+
+def test_table3_dance_accuracy_competitive(comparison_results):
+    """DANCE's final accuracy is not worse than the RL comparator's (paper: it is the best)."""
+    assert comparison_results["dance"].accuracy >= comparison_results["rl"].accuracy - 0.12
+
+
+def test_table3_benchmark_dance_search_step(
+    cifar_nas_space, trained_cifar_evaluator, cifar_cost_table, cifar_images, benchmark
+):
+    """pytest-benchmark timing of a single DANCE search epoch (the unit the GPU-hours scale with)."""
+    train_images, val_images = cifar_images
+
+    def one_epoch_search():
+        searcher = DanceSearcher(
+            cifar_nas_space,
+            trained_cifar_evaluator,
+            cifar_cost_table,
+            config=DanceConfig(
+                search_epochs=1,
+                batch_size=32,
+                lambda_2=0.5,
+                warmup_epochs=0,
+                final_training=ClassifierTrainingConfig(epochs=1),
+            ),
+            rng=202,
+        )
+        return searcher.search(train_images, val_images, retrain_final=False)
+
+    result = benchmark.pedantic(one_epoch_search, iterations=1, rounds=1)
+    assert result.candidates_trained == 1
+
+
+def test_table3_comparison_benchmark(comparison_results, cifar_cost_table, benchmark):
+    """Ensures the Table-3 comparison runs under --benchmark-only and times the oracle scoring step."""
+    dance = comparison_results["dance"]
+    config, metrics = benchmark(lambda: cifar_cost_table.optimal_config(dance.op_indices))
+    assert metrics.edap == pytest.approx(dance.metrics.edap)

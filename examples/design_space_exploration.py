@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Explore the accelerator design space for a fixed network architecture.
+
+This example uses only the hardware substrate (no NAS, no evaluator): it
+enumerates the full Eyeriss-style design space for a chosen architecture,
+reports the latency / energy / area / EDAP landscape, the Pareto-optimal
+configurations, and how the optimal dataflow changes between an early
+(large feature map, few channels) and a late (small feature map, many
+channels) layer — the interaction that motivates co-exploration in the
+paper's introduction.
+
+Usage::
+
+    python examples/design_space_exploration.py [--arch heavy|light|random]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.hwmodel import (
+    AcceleratorConfig,
+    AcceleratorCostModel,
+    ConvLayerShape,
+    HardwareSearchSpace,
+    HardwareMetrics,
+    analyze_mapping,
+)
+from repro.nas import build_cifar_search_space, op_index
+
+
+def pareto_front(points: List[Tuple[AcceleratorConfig, HardwareMetrics]]):
+    """Return the (latency, energy, area)-Pareto-optimal configurations."""
+    front = []
+    for config, metrics in points:
+        dominated = False
+        for _, other in points:
+            if (
+                other.latency_ms <= metrics.latency_ms
+                and other.energy_mj <= metrics.energy_mj
+                and other.area_mm2 <= metrics.area_mm2
+                and (
+                    other.latency_ms < metrics.latency_ms
+                    or other.energy_mj < metrics.energy_mj
+                    or other.area_mm2 < metrics.area_mm2
+                )
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append((config, metrics))
+    return front
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--arch", choices=["heavy", "light", "random"], default="heavy")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    nas_space = build_cifar_search_space()
+    if args.arch == "heavy":
+        arch = np.full(nas_space.num_searchable, op_index("mbconv7_e6"))
+    elif args.arch == "light":
+        arch = np.full(nas_space.num_searchable, op_index("mbconv3_e3"))
+    else:
+        arch = nas_space.random_architecture(rng=args.seed)
+    workload = nas_space.build_workload(arch)
+    print(f"Architecture: {[nas_space.candidate_ops[int(i)].name for i in arch]}")
+    print(f"Workload    : {len(workload)} conv layers, {workload.total_macs / 1e6:.1f} MMACs, "
+          f"{workload.total_weights / 1e3:.1f}K weights")
+
+    hw_space = HardwareSearchSpace()
+    cost_model = AcceleratorCostModel()
+    print(f"\nEnumerating {len(hw_space)} accelerator configurations ...")
+    points = [(config, cost_model.evaluate(workload, config)) for config in hw_space.enumerate()]
+
+    edaps = np.array([metrics.edap for _, metrics in points])
+    latencies = np.array([metrics.latency_ms for _, metrics in points])
+    print(f"  latency range : {latencies.min():.2f} .. {latencies.max():.2f} ms")
+    print(f"  EDAP range    : {edaps.min():.1f} .. {edaps.max():.1f}")
+
+    best_edap_config, best_edap_metrics = min(points, key=lambda item: item[1].edap)
+    best_latency_config, best_latency_metrics = min(points, key=lambda item: item[1].latency_ms)
+    print("\nBest-EDAP configuration   :", best_edap_config.as_dict(), best_edap_metrics.as_dict())
+    print("Best-latency configuration:", best_latency_config.as_dict(), best_latency_metrics.as_dict())
+
+    front = pareto_front(points)
+    print(f"\nPareto-optimal configurations ({len(front)} of {len(points)}):")
+    for config, metrics in sorted(front, key=lambda item: item[1].latency_ms)[:15]:
+        print(
+            f"  PE {config.pe_x:>2}x{config.pe_y:<2} RF {config.rf_size:>2} {config.dataflow.value}: "
+            f"latency {metrics.latency_ms:6.2f} ms, energy {metrics.energy_mj:6.2f} mJ, "
+            f"area {metrics.area_mm2:5.1f} mm^2, EDAP {metrics.edap:7.1f}"
+        )
+    if len(front) > 15:
+        print(f"  ... and {len(front) - 15} more")
+
+    # Dataflow / layer-shape interaction (the paper's motivating example).
+    early_layer = ConvLayerShape("early", n=1, c=32, h=32, w=32, k=32, r=3, s=3)
+    late_layer = ConvLayerShape("late", n=1, c=96, h=8, w=8, k=96, r=3, s=3)
+    depthwise = ConvLayerShape("depthwise", n=1, c=96, h=8, w=8, k=96, r=3, s=3, groups=96)
+    probe = AcceleratorConfig(16, 16, 16, "WS")
+    print("\nSpatial utilisation by dataflow (PE 16x16, RF 16):")
+    print(f"  {'layer':<12}{'WS':>8}{'OS':>8}{'RS':>8}")
+    for layer in (early_layer, late_layer, depthwise):
+        row = []
+        for dataflow in ("WS", "OS", "RS"):
+            config = AcceleratorConfig(16, 16, 16, dataflow)
+            row.append(analyze_mapping(layer, config).spatial_utilization)
+        print(f"  {layer.name:<12}{row[0]:>8.2f}{row[1]:>8.2f}{row[2]:>8.2f}")
+    print("\nNote how the best dataflow depends on the layer shape — the reason the")
+    print("network and the accelerator have to be explored jointly.")
+
+
+if __name__ == "__main__":
+    main()

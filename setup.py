@@ -1,0 +1,12 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+The offline environment used for this reproduction has no network access and
+no ``wheel`` distribution, which breaks PEP 517 editable installs.  Keeping a
+classic ``setup.py`` lets ``pip install -e . --no-use-pep517`` (or
+``python setup.py develop``) succeed; all metadata still lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,243 @@
+"""Convolutional layers (im2col based) for the NAS supernet.
+
+The ProxylessNAS-style search space is built from MBConv blocks (pointwise
+expansion, depthwise convolution, pointwise projection).  This module
+implements Conv2d (with groups, so depthwise convolution is available),
+BatchNorm2d, pooling and a global-average-pool head on top of the autograd
+Tensor, using im2col so the heavy lifting happens inside numpy matmuls.
+
+Data layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.utils.seeding import as_rng
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+def _im2col(
+    x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_hw: Tuple[int, int],
+) -> np.ndarray:
+    """Fold columns back into an image, accumulating overlapping contributions."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = out_hw
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + sh * out_h
+        for j in range(kw):
+            j_end = j + sw * out_w
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j, :, :]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+class Conv2d(Module):
+    """2-D convolution with optional grouping (``groups=in_channels`` = depthwise)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]],
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int]] = 0,
+        groups: int = 1,
+        bias: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups != 0 or out_channels % groups != 0:
+            raise ValueError("in_channels and out_channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.groups = groups
+        generator = as_rng(rng)
+        kh, kw = self.kernel_size
+        fan_in = (in_channels // groups) * kh * kw
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels // groups, kh, kw), fan_in=fan_in, rng=generator),
+            name="weight",
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias: Optional[Parameter] = Parameter(
+                generator.uniform(-bound, bound, size=(out_channels,)), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
+        weight = self.weight
+        bias = self.bias
+        kernel = self.kernel_size
+        stride = self.stride
+        padding = self.padding
+        groups = self.groups
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+
+        cols, (out_h, out_w) = _im2col(x.data, kernel, stride, padding)
+        kh, kw = kernel
+        group_in = self.in_channels // groups
+        group_out = self.out_channels // groups
+        weight_mat = weight.data.reshape(self.out_channels, group_in * kh * kw)
+
+        cols_grouped = cols.reshape(n, groups, group_in * kh * kw, out_h * out_w)
+        out = np.empty((n, self.out_channels, out_h * out_w), dtype=np.float64)
+        for g in range(groups):
+            w_g = weight_mat[g * group_out : (g + 1) * group_out]
+            out[:, g * group_out : (g + 1) * group_out, :] = np.einsum(
+                "ok,nkl->nol", w_g, cols_grouped[:, g], optimize=True
+            )
+        out_data = out.reshape(n, self.out_channels, out_h, out_w)
+        if bias is not None:
+            out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+        conv = self
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad, dtype=np.float64).reshape(n, conv.out_channels, out_h * out_w)
+            if bias is not None and bias.requires_grad:
+                bias._accumulate(grad.sum(axis=(0, 2)))
+            grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
+            if weight.requires_grad:
+                grad_w = np.empty_like(weight.data.reshape(conv.out_channels, group_in * kh * kw))
+                for g in range(groups):
+                    grad_w[g * group_out : (g + 1) * group_out] = np.einsum(
+                        "nol,nkl->ok", grad_grouped[:, g], cols_grouped[:, g], optimize=True
+                    )
+                weight._accumulate(grad_w.reshape(weight.data.shape))
+            if x.requires_grad:
+                grad_cols = np.empty_like(cols_grouped)
+                for g in range(groups):
+                    w_g = weight_mat[g * group_out : (g + 1) * group_out]
+                    grad_cols[:, g] = np.einsum("ok,nol->nkl", w_g, grad_grouped[:, g], optimize=True)
+                grad_cols_flat = grad_cols.reshape(n, conv.in_channels * kh * kw, out_h * out_w)
+                x._accumulate(_col2im(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w)))
+
+        return Tensor._make(out_data, (x, weight) + ((bias,) if bias is not None else ()), backward)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over the channel dimension of NCHW inputs."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        axes = (0, 2, 3)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=axes, keepdims=True)
+            self._buffers["running_mean"][...] = (
+                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean.data.reshape(-1)
+            )
+            self._buffers["running_var"][...] = (
+                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+        normalised = (x - mean) / (var + self.eps) ** 0.5
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
+        return normalised * scale + shift
+
+
+class AvgPool2d(Module):
+    """Average pooling with square windows."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        super().__init__()
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        cols, _ = _im2col(x.data, (k, k), (s, s), (0, 0))
+        cols = cols.reshape(n, c, k * k, out_h * out_w)
+        out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+
+        def backward(grad: np.ndarray) -> None:
+            if not x.requires_grad:
+                return
+            grad = np.asarray(grad, dtype=np.float64).reshape(n, c, 1, out_h * out_w)
+            grad_cols = np.broadcast_to(grad / (k * k), (n, c, k * k, out_h * out_w))
+            grad_cols = grad_cols.reshape(n, c * k * k, out_h * out_w)
+            x._accumulate(_col2im(grad_cols, (n, c, h, w), (k, k), (s, s), (0, 0), (out_h, out_w)))
+
+        return Tensor._make(out_data, (x,), backward)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, producing an (N, C) tensor."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        if x.ndim != 4:
+            raise ValueError(f"GlobalAvgPool2d expects NCHW input, got shape {x.shape}")
+        return x.mean(axis=(2, 3))

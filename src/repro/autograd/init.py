@@ -1,0 +1,57 @@
+"""Weight initialisation schemes for linear and convolutional layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.seeding import as_rng
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    fan_in: Optional[int] = None,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU networks."""
+    generator = as_rng(rng)
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    generator = as_rng(rng)
+    if len(shape) >= 2:
+        fan_in = int(np.prod(shape[1:]))
+        fan_out = shape[0]
+    else:
+        fan_in = fan_out = shape[0]
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    std: float = 0.01,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> np.ndarray:
+    """Zero-mean Gaussian initialisation with the given standard deviation."""
+    generator = as_rng(rng)
+    return generator.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases, batch-norm offsets)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (batch-norm scales)."""
+    return np.ones(shape, dtype=np.float64)

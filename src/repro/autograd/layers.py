@@ -1,0 +1,251 @@
+"""Neural-network layers used across the evaluator networks and supernet.
+
+The evaluator network in the paper is built from five-layer residual MLPs
+with ReLU activations and batch normalisation; this module provides those
+bricks (Linear, BatchNorm1d, Dropout, ReLU, Sequential, ResidualMLPBlock,
+MLP) on top of the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.functional import relu, softmax
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.utils.seeding import as_rng
+
+
+class Identity(Module):
+    """Pass-through layer."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return as_tensor(x)
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        generator = as_rng(rng)
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), fan_in=in_features, rng=generator),
+            name="weight",
+        )
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias: Optional[Parameter] = Parameter(
+                generator.uniform(-bound, bound, size=(out_features,)), name="bias"
+            )
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    """ReLU activation as a module (so it can sit inside a Sequential)."""
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return relu(x)
+
+
+class Softmax(Module):
+    """Softmax along the final axis."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return softmax(x, axis=self.axis)
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[Union[int, np.random.Generator]] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.uniform(size=x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature dimension of a 2-D input."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)), name="weight")
+        self.bias = Parameter(init.zeros((num_features,)), name="bias")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects a 2-D input, got shape {x.shape}")
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            self._buffers["running_mean"][...] = (
+                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean.data.reshape(-1)
+            )
+            self._buffers["running_var"][...] = (
+                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self._buffers["running_mean"].reshape(1, -1))
+            var = Tensor(self._buffers["running_var"].reshape(1, -1))
+        normalised = (x - mean) / (var + self.eps) ** 0.5
+        return normalised * self.weight + self.bias
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        """Add a module to the end of the chain."""
+        self.add_module(str(len(self._layers)), module)
+        self._layers.append(module)
+        return self
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        out = as_tensor(x)
+        for layer in self._layers:
+            out = layer(out)
+        return out
+
+
+class ResidualMLPBlock(Module):
+    """``y = act(BN(Wx + b)) + x`` — the residual brick of the evaluator nets.
+
+    The paper adds residual connections between the layers of both the
+    hardware generation and cost estimation networks "to increase the
+    accuracy ... and establish the gradient path towards the network under
+    search".  Batch-norm is optional because the hardware generation network
+    does not use it while the cost estimation network does.
+    """
+
+    def __init__(
+        self,
+        features: int,
+        use_batchnorm: bool = True,
+        activation: Optional[Callable[[Tensor], Tensor]] = relu,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        self.linear = Linear(features, features, rng=rng)
+        self.norm: Module = BatchNorm1d(features) if use_batchnorm else Identity()
+        self.activation = activation if activation is not None else (lambda value: value)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        out = self.activation(self.norm(self.linear(x)))
+        return out + x
+
+
+class MLP(Module):
+    """Configurable multi-layer perceptron with optional residual hidden blocks.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output widths.
+    hidden_features:
+        Width of every hidden layer.
+    num_layers:
+        Total number of Linear layers (including input projection and output
+        head).  The paper uses five-layer perceptrons for both evaluator
+        components.
+    use_batchnorm:
+        Insert BatchNorm1d after each hidden Linear.
+    residual:
+        Use :class:`ResidualMLPBlock` for the hidden layers.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        hidden_features: int = 128,
+        num_layers: int = 5,
+        use_batchnorm: bool = False,
+        residual: bool = True,
+        dropout: float = 0.0,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 2:
+            raise ValueError("MLP needs at least an input projection and an output head")
+        generator = as_rng(rng)
+        layers: List[Module] = [Linear(in_features, hidden_features, rng=generator)]
+        if use_batchnorm:
+            layers.append(BatchNorm1d(hidden_features))
+        layers.append(ReLU())
+        for _ in range(num_layers - 2):
+            if residual:
+                layers.append(
+                    ResidualMLPBlock(hidden_features, use_batchnorm=use_batchnorm, rng=generator)
+                )
+            else:
+                layers.append(Linear(hidden_features, hidden_features, rng=generator))
+                if use_batchnorm:
+                    layers.append(BatchNorm1d(hidden_features))
+                layers.append(ReLU())
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=generator))
+        layers.append(Linear(hidden_features, out_features, rng=generator))
+        self.body = Sequential(*layers)
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return self.body(x)

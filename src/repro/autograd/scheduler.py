@@ -1,0 +1,81 @@
+"""Learning-rate schedules used by the paper's training recipes."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.autograd.optim import Optimizer
+
+
+class LRScheduler:
+    """Base class; subclasses implement :meth:`get_lr`."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = -1
+
+    def get_lr(self, epoch: int) -> float:
+        """Return the learning rate for ``epoch``."""
+        raise NotImplementedError
+
+    def step(self, epoch: Optional[int] = None) -> float:
+        """Advance the schedule and update the optimiser's learning rate."""
+        if epoch is None:
+            epoch = self.last_epoch + 1
+        self.last_epoch = epoch
+        lr = self.get_lr(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR down to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        epoch = min(epoch, self.t_max)
+        cosine = (1 + math.cos(math.pi * epoch / self.t_max)) / 2
+        return self.eta_min + (self.base_lr - self.eta_min) * cosine
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs.
+
+    Matches the hardware generation network recipe of the paper (start at
+    0.001, decrease by 0.1x every 50 epochs).
+    """
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class LinearWarmup(LRScheduler):
+    """Linear ramp from ``start_factor * base_lr`` to ``base_lr`` over ``warmup_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int, start_factor: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if warmup_epochs <= 0:
+            raise ValueError("warmup_epochs must be positive")
+        self.warmup_epochs = warmup_epochs
+        self.start_factor = start_factor
+
+    def get_lr(self, epoch: int) -> float:  # noqa: D102
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        fraction = epoch / self.warmup_epochs
+        return self.base_lr * (self.start_factor + (1 - self.start_factor) * fraction)

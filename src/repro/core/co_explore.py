@@ -1,0 +1,262 @@
+"""The DANCE differentiable co-exploration loop (Section 3.2, Figure 3).
+
+One search run alternates, within each epoch, between
+
+* **weight steps** — sample a (near) one-hot path through the supernet with
+  Gumbel-softmax, compute the cross-entropy of the sampled path on a
+  training batch, and update the supernet weights; and
+* **architecture steps** — on a validation batch, combine the sampled-path
+  cross-entropy with ``lambda_2 * Cost_HW``, where ``Cost_HW`` is produced by
+  the *frozen* differentiable evaluator from the current architecture
+  probabilities, and update only the architecture parameters.  Because the
+  evaluator is a neural network, the gradient of the hardware cost flows
+  through it into the architecture logits — the paper's key idea.
+
+After the search, the most likely architecture is derived, a one-time exact
+hardware generation is run with the oracle (as the paper does), and the
+derived network is retrained from scratch to measure accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.optim import Adam, SGD
+from repro.autograd.scheduler import CosineAnnealingLR
+from repro.autograd.tensor import Tensor
+from repro.core.cost_functions import EDAPCostFunction, HardwareCostFunction
+from repro.core.loss import CoExplorationLoss
+from repro.core.results import SearchResult
+from repro.core.train_utils import ClassifierTrainingConfig, train_classifier
+from repro.core.warmup import LambdaWarmup
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import ImageClassificationDataset
+from repro.evaluator.dataset import LayerCostTable
+from repro.evaluator.evaluator import Evaluator
+from repro.nas.arch_params import ArchitectureParameters
+from repro.nas.derive import derive_architecture
+from repro.nas.search_space import NASSearchSpace
+from repro.nas.supernet import DerivedNetwork, SuperNet
+from repro.utils.logging import get_logger
+from repro.utils.seeding import as_rng
+
+logger = get_logger("core.co_explore")
+
+
+@dataclass
+class DanceConfig:
+    """Hyper-parameters of one DANCE search run."""
+
+    search_epochs: int = 6
+    batch_size: int = 32
+    weight_lr: float = 0.025
+    weight_momentum: float = 0.9
+    weight_decay: float = 4e-5
+    arch_lr: float = 6e-3
+    lambda_2: float = 1.0
+    warmup_epochs: int = 2
+    gumbel_temperature: float = 1.0
+    label_smoothing: float = 0.1
+    arch_update_period: int = 1
+    final_training: ClassifierTrainingConfig = field(default_factory=ClassifierTrainingConfig)
+
+
+class DanceSearcher:
+    """Runs differentiable accelerator/network co-exploration."""
+
+    def __init__(
+        self,
+        search_space: NASSearchSpace,
+        evaluator: Evaluator,
+        cost_table: LayerCostTable,
+        cost_function: Optional[HardwareCostFunction] = None,
+        config: Optional[DanceConfig] = None,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        self.search_space = search_space
+        self.evaluator = evaluator
+        self.cost_table = cost_table
+        self.cost_function = cost_function or EDAPCostFunction()
+        self.config = config or DanceConfig()
+        self._rng = as_rng(rng)
+        # The evaluator is pre-trained and frozen during search (Section 3.2).
+        self.evaluator.eval()
+        self.evaluator.freeze()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        train_set: ImageClassificationDataset,
+        val_set: ImageClassificationDataset,
+        method_name: str = "DANCE",
+        retrain_final: bool = True,
+    ) -> SearchResult:
+        """Run the co-exploration and return the scored final design."""
+        config = self.config
+        start_time = time.time()
+
+        supernet = SuperNet(self.search_space, rng=self._rng)
+        arch_params = ArchitectureParameters(self.search_space, rng=self._rng)
+        weight_optimizer = SGD(
+            supernet.parameters(),
+            lr=config.weight_lr,
+            momentum=config.weight_momentum,
+            weight_decay=config.weight_decay,
+            nesterov=True,
+        )
+        weight_scheduler = CosineAnnealingLR(weight_optimizer, t_max=max(config.search_epochs, 1))
+        arch_optimizer = Adam([arch_params.alpha], lr=config.arch_lr)
+        warmup = LambdaWarmup(target=config.lambda_2, warmup_epochs=config.warmup_epochs)
+        combined_loss = CoExplorationLoss(
+            self.cost_function,
+            label_smoothing=config.label_smoothing,
+            cost_normalizer=self._reference_cost(),
+        )
+
+        train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
+        val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
+        history: List[Dict[str, float]] = []
+
+        for epoch in range(config.search_epochs):
+            weight_scheduler.step(epoch)
+            lambda_2 = warmup.value(epoch)
+            val_iter = iter(val_loader)
+            epoch_ce: List[float] = []
+            epoch_hw: List[float] = []
+            for step, (images, labels) in enumerate(train_loader):
+                # ---- weight step on the training batch --------------------
+                gates = arch_params.sample_gumbel(
+                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
+                )
+                logits = supernet(Tensor(images), gates)
+                weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+                weight_optimizer.zero_grad()
+                arch_params.zero_grad()
+                weight_loss.backward()
+                weight_optimizer.step()
+                epoch_ce.append(weight_loss.item())
+
+                # ---- architecture step on a validation batch --------------
+                if step % config.arch_update_period != 0:
+                    continue
+                try:
+                    val_images, val_labels = next(val_iter)
+                except StopIteration:
+                    val_iter = iter(val_loader)
+                    val_images, val_labels = next(val_iter)
+                gates = arch_params.sample_gumbel(
+                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
+                )
+                val_logits = supernet(Tensor(val_images), gates)
+                predicted_metrics = self.evaluator(arch_params.encoding_tensor(), rng=self._rng)
+                arch_loss = combined_loss(
+                    val_logits, val_labels, predicted_metrics, lambda_2=lambda_2
+                )
+                arch_optimizer.zero_grad()
+                weight_optimizer.zero_grad()
+                arch_loss.backward()
+                arch_optimizer.step()
+                epoch_hw.append(
+                    self.cost_function(predicted_metrics).item() / combined_loss.cost_normalizer
+                )
+
+            history.append(
+                {
+                    "epoch": float(epoch),
+                    "lambda_2": lambda_2,
+                    "train_ce": float(np.mean(epoch_ce)) if epoch_ce else float("nan"),
+                    "hw_cost": float(np.mean(epoch_hw)) if epoch_hw else float("nan"),
+                    "entropy": arch_params.entropy(),
+                }
+            )
+            logger.info(
+                "epoch %d: ce=%.3f hw=%.3f lambda2=%.3f entropy=%.3f",
+                epoch,
+                history[-1]["train_ce"],
+                history[-1]["hw_cost"],
+                lambda_2,
+                history[-1]["entropy"],
+            )
+
+        search_seconds = time.time() - start_time
+        return self.finalize(
+            arch_params,
+            train_set,
+            val_set,
+            method_name=method_name,
+            search_seconds=search_seconds,
+            history=history,
+            retrain_final=retrain_final,
+        )
+
+    # ------------------------------------------------------------------
+    # Post-search: exact HW generation + final training
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        arch_params: ArchitectureParameters,
+        train_set: ImageClassificationDataset,
+        val_set: ImageClassificationDataset,
+        method_name: str,
+        search_seconds: float,
+        history: Optional[List[Dict[str, float]]] = None,
+        retrain_final: bool = True,
+    ) -> SearchResult:
+        """Derive, run exact hardware generation, retrain and score a design."""
+        derived = derive_architecture(self.search_space, arch_params)
+        best_config, oracle_metrics = self.cost_table.optimal_config(
+            derived.op_indices, cost_function=self.cost_function.scalar
+        )
+        if retrain_final:
+            final_network = DerivedNetwork(self.search_space, derived.op_indices, rng=self._rng)
+            final_accuracy = train_classifier(
+                final_network, train_set, val_set, self.config.final_training, rng=self._rng
+            )
+        else:
+            final_accuracy = float("nan")
+        logger.info(
+            "%s: arch=%s hw=%s acc=%.3f edap=%.2f",
+            method_name,
+            derived.op_names,
+            best_config.as_dict(),
+            final_accuracy,
+            oracle_metrics.edap,
+        )
+        return SearchResult(
+            method=method_name,
+            op_indices=derived.op_indices,
+            accuracy=final_accuracy,
+            hardware=best_config,
+            metrics=oracle_metrics,
+            search_seconds=search_seconds,
+            candidates_trained=1,
+            history=history or [],
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _reference_cost(self) -> float:
+        """Cost of a uniform-probability architecture, used to normalise Cost_HW.
+
+        Normalising by a reference makes lambda_2 values comparable between
+        the EDAP and linear cost functions, whose raw magnitudes differ by
+        an order of magnitude.
+        """
+        uniform = np.full(
+            (self.search_space.num_searchable, self.search_space.num_ops),
+            1.0 / self.search_space.num_ops,
+        )
+        encoding = self.search_space.encode_probabilities(uniform)
+        metrics = self.evaluator.predict_metrics(encoding)
+        reference = self.cost_function.scalar(metrics)
+        if not np.isfinite(reference) or reference <= 0:
+            return 1.0
+        return reference

@@ -1,0 +1,91 @@
+"""Hardware cost functions Cost_HW (Section 3.5).
+
+Two scalarisations of the predicted (latency, energy, area) vector are used
+in the paper:
+
+* a linear combination (Eq. 3) weighted by ``lambda_latency`` /
+  ``lambda_energy`` / ``lambda_area`` — Table 2 uses (4.1, 4.8, 1.0);
+* the energy-delay-area product EDAP (Eq. 4), which needs no extra
+  hyper-parameters and is unitless.
+
+Both operate on autograd tensors so the cost stays differentiable with
+respect to the architecture parameters, and both also accept
+:class:`~repro.hwmodel.metrics.HardwareMetrics` for post-search reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.hwmodel.metrics import HardwareMetrics
+
+MetricsLike = Union[Tensor, HardwareMetrics]
+
+
+def _as_metric_tensor(metrics: MetricsLike) -> Tensor:
+    """Normalise either a HardwareMetrics or a (batch, 3) tensor to a tensor."""
+    if isinstance(metrics, HardwareMetrics):
+        return Tensor([metrics.latency_ms, metrics.energy_mj, metrics.area_mm2]).reshape(1, 3)
+    tensor = as_tensor(metrics)
+    if tensor.ndim == 1:
+        tensor = tensor.reshape(1, -1)
+    if tensor.shape[-1] != 3:
+        raise ValueError(f"expected 3 metrics (latency, energy, area), got shape {tensor.shape}")
+    return tensor
+
+
+class HardwareCostFunction:
+    """Base class: maps predicted metrics to a scalar differentiable cost."""
+
+    name: str = "base"
+
+    def __call__(self, metrics: MetricsLike) -> Tensor:
+        raise NotImplementedError
+
+    def scalar(self, metrics: HardwareMetrics) -> float:
+        """Evaluate the cost of concrete (oracle) metrics as a plain float."""
+        return float(self(metrics).data.reshape(-1)[0])
+
+
+@dataclass
+class LinearCostFunction(HardwareCostFunction):
+    """Eq. 3: ``lambda_E * Energy + lambda_L * Latency + lambda_A * Area``."""
+
+    lambda_latency: float = 4.1
+    lambda_energy: float = 4.8
+    lambda_area: float = 1.0
+    name: str = "linear"
+
+    def __call__(self, metrics: MetricsLike) -> Tensor:
+        tensor = _as_metric_tensor(metrics)
+        latency = tensor[:, 0]
+        energy = tensor[:, 1]
+        area = tensor[:, 2]
+        combined = (
+            latency * self.lambda_latency + energy * self.lambda_energy + area * self.lambda_area
+        )
+        return combined.mean()
+
+
+@dataclass
+class EDAPCostFunction(HardwareCostFunction):
+    """Eq. 4: the energy-delay-area product (no extra hyper-parameters)."""
+
+    name: str = "edap"
+
+    def __call__(self, metrics: MetricsLike) -> Tensor:
+        tensor = _as_metric_tensor(metrics)
+        product = tensor[:, 0] * tensor[:, 1] * tensor[:, 2]
+        return product.mean()
+
+
+def get_cost_function(name: str, **kwargs) -> HardwareCostFunction:
+    """Factory: ``"linear"`` or ``"edap"`` (case-insensitive)."""
+    lowered = name.lower()
+    if lowered == "linear":
+        return LinearCostFunction(**kwargs)
+    if lowered == "edap":
+        return EDAPCostFunction()
+    raise ValueError(f"unknown cost function {name!r}; expected 'linear' or 'edap'")

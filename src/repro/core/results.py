@@ -1,0 +1,111 @@
+"""Result containers and table formatting for the search experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.metrics import HardwareMetrics
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search run (DANCE, a baseline, or the RL comparator).
+
+    Attributes
+    ----------
+    method:
+        Human-readable method name (e.g. ``"DANCE (w/ FF)"``).
+    op_indices:
+        The derived discrete architecture.
+    accuracy:
+        Validation accuracy of the derived architecture after final training.
+    hardware:
+        The accelerator configuration chosen for the architecture (from the
+        one-time exact hardware generation after the search).
+    metrics:
+        Oracle latency / energy / area of the architecture on ``hardware``.
+    search_seconds:
+        Wall-clock search time.
+    candidates_trained:
+        Number of candidate networks that had to be trained during search
+        (1 for differentiable search, hundreds for RL).
+    history:
+        Optional per-epoch logging (loss terms, entropy, accuracy).
+    """
+
+    method: str
+    op_indices: np.ndarray
+    accuracy: float
+    hardware: AcceleratorConfig
+    metrics: HardwareMetrics
+    search_seconds: float
+    candidates_trained: int = 1
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def edap(self) -> float:
+        """EDAP of the final design (paper units)."""
+        return self.metrics.edap
+
+    @property
+    def error(self) -> float:
+        """Classification error (1 - accuracy), the y-axis of Figure 5."""
+        return 1.0 - self.accuracy
+
+    def row(self) -> Dict[str, float]:
+        """Flat record used by the table formatters and benchmarks."""
+        return {
+            "method": self.method,
+            "accuracy_pct": 100.0 * self.accuracy,
+            "latency_ms": self.metrics.latency_ms,
+            "energy_mj": self.metrics.energy_mj,
+            "area_mm2": self.metrics.area_mm2,
+            "edap": self.metrics.edap,
+            "search_seconds": self.search_seconds,
+            "candidates_trained": self.candidates_trained,
+            "hardware": str(self.hardware.as_dict()),
+        }
+
+
+def format_results_table(results: Sequence[SearchResult], title: Optional[str] = None) -> str:
+    """Render search results as a fixed-width text table (Table 2 / 4 style)."""
+    header = f"{'Method':<32}{'Acc.(%)':>9}{'Lat.(ms)':>10}{'En.(mJ)':>9}{'EDAP':>10}{'#Cand.':>8}"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        lines.append(
+            f"{result.method:<32}"
+            f"{100.0 * result.accuracy:>9.1f}"
+            f"{result.metrics.latency_ms:>10.2f}"
+            f"{result.metrics.energy_mj:>9.2f}"
+            f"{result.metrics.edap:>10.1f}"
+            f"{result.candidates_trained:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(results: Sequence[SearchResult], title: Optional[str] = None) -> str:
+    """Render the Table-3 style comparison (accuracy / search cost / #candidates)."""
+    header = f"{'Method':<32}{'Acc.(%)':>9}{'Search(s)':>11}{'#Candidates':>13}{'Type':>10}"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for result in results:
+        search_type = "gradient" if result.candidates_trained <= 1 else "RL"
+        lines.append(
+            f"{result.method:<32}"
+            f"{100.0 * result.accuracy:>9.1f}"
+            f"{result.search_seconds:>11.1f}"
+            f"{result.candidates_trained:>13d}"
+            f"{search_type:>10}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Shared training / evaluation helpers for classifier networks.
+
+Both the final-architecture retraining step of every search method and the
+per-candidate training of the RL comparator use the same plain supervised
+loop, so it lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.module import Module
+from repro.autograd.optim import SGD
+from repro.autograd.scheduler import CosineAnnealingLR
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.loaders import DataLoader
+from repro.data.synthetic import ImageClassificationDataset
+from repro.utils.seeding import as_rng
+
+
+@dataclass
+class ClassifierTrainingConfig:
+    """Hyper-parameters for training a (derived) classifier network."""
+
+    epochs: int = 8
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-3
+    label_smoothing: float = 0.1
+    nesterov: bool = True
+
+
+def evaluate_classifier(
+    network: Module, dataset: ImageClassificationDataset, batch_size: int = 64
+) -> float:
+    """Top-1 accuracy of ``network`` on ``dataset`` (evaluation mode)."""
+    was_training = network.training
+    network.eval()
+    correct = 0
+    total = 0
+    try:
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                images = dataset.images[start : start + batch_size]
+                labels = dataset.labels[start : start + batch_size]
+                logits = network(Tensor(images))
+                predictions = logits.data.argmax(axis=-1)
+                correct += int((predictions == labels).sum())
+                total += labels.shape[0]
+    finally:
+        network.train(was_training)
+    return correct / max(total, 1)
+
+
+def train_classifier(
+    network: Module,
+    train_set: ImageClassificationDataset,
+    val_set: ImageClassificationDataset,
+    config: Optional[ClassifierTrainingConfig] = None,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> float:
+    """Train ``network`` from its current state and return final validation accuracy.
+
+    Follows the paper's final-training recipe shape: SGD with Nesterov
+    momentum, cosine learning-rate schedule, weight decay and label
+    smoothing — at reduced epoch counts.
+    """
+    config = config or ClassifierTrainingConfig()
+    generator = as_rng(rng)
+    loader = DataLoader(train_set, batch_size=config.batch_size, shuffle=True, rng=generator)
+    optimizer = SGD(
+        network.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        nesterov=config.nesterov,
+    )
+    scheduler = CosineAnnealingLR(optimizer, t_max=max(config.epochs, 1))
+    network.train()
+    for epoch in range(config.epochs):
+        scheduler.step(epoch)
+        for images, labels in loader:
+            logits = network(Tensor(images))
+            loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return evaluate_classifier(network, val_set)

@@ -1,0 +1,60 @@
+"""Hyper-parameter warm-up scheduling for the hardware-cost weight (Section 3.4).
+
+Optimising the hardware cost is much easier than optimising accuracy — the
+search can collapse every searchable layer to ``Zero`` within a few steps and
+never recover.  The paper therefore keeps the cost weight ``lambda_2`` small
+for the first few epochs and raises it to the target value once the
+architecture has reached a reasonable accuracy regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LambdaWarmup:
+    """Schedule for the hardware-cost loss weight ``lambda_2``.
+
+    Parameters
+    ----------
+    target:
+        Final value of ``lambda_2``.
+    warmup_epochs:
+        Number of epochs spent below the target.
+    start_fraction:
+        Fraction of the target used at epoch 0.
+    mode:
+        ``"linear"`` ramps linearly from ``start_fraction * target`` to
+        ``target``; ``"step"`` keeps the start value until ``warmup_epochs``
+        and then jumps to the target.
+    """
+
+    target: float
+    warmup_epochs: int = 5
+    start_fraction: float = 0.05
+    mode: str = "linear"
+
+    def __post_init__(self) -> None:
+        if self.target < 0:
+            raise ValueError("target must be non-negative")
+        if self.warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        if not 0.0 <= self.start_fraction <= 1.0:
+            raise ValueError("start_fraction must lie in [0, 1]")
+        if self.mode not in ("linear", "step"):
+            raise ValueError("mode must be 'linear' or 'step'")
+
+    def value(self, epoch: int) -> float:
+        """Return ``lambda_2`` for the given (0-based) epoch."""
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        if self.warmup_epochs == 0 or epoch >= self.warmup_epochs:
+            return self.target
+        if self.mode == "step":
+            return self.start_fraction * self.target
+        fraction = epoch / self.warmup_epochs
+        return self.target * (self.start_fraction + (1.0 - self.start_fraction) * fraction)
+
+    def __call__(self, epoch: int) -> float:
+        return self.value(epoch)

@@ -1,0 +1,18 @@
+"""Synthetic dataset substrate (offline stand-in for CIFAR-10 / ImageNet)."""
+
+from repro.data.loaders import DataLoader, train_val_split
+from repro.data.synthetic import (
+    ImageClassificationDataset,
+    make_cifar_like,
+    make_imagenet_like,
+    make_synthetic_dataset,
+)
+
+__all__ = [
+    "DataLoader",
+    "train_val_split",
+    "ImageClassificationDataset",
+    "make_cifar_like",
+    "make_imagenet_like",
+    "make_synthetic_dataset",
+]

@@ -1,0 +1,60 @@
+"""Batch iteration utilities over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.synthetic import ImageClassificationDataset
+from repro.utils.seeding import as_rng
+
+
+class DataLoader:
+    """Mini-batch iterator with optional shuffling.
+
+    Iterating yields ``(images, labels)`` numpy pairs; a fresh shuffle order
+    is drawn on every epoch when ``shuffle`` is enabled.
+    """
+
+    def __init__(
+        self,
+        dataset: ImageClassificationDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_rng(rng)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_idx = indices[start : start + self.batch_size]
+            if self.drop_last and batch_idx.shape[0] < self.batch_size:
+                break
+            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]
+
+
+def train_val_split(
+    dataset: ImageClassificationDataset,
+    val_fraction: float = 0.2,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> Tuple[ImageClassificationDataset, ImageClassificationDataset]:
+    """Split a dataset into (train, validation) parts."""
+    train, val = dataset.split(1.0 - val_fraction, rng=rng)
+    return train, val

@@ -1,0 +1,247 @@
+"""Ground-truth generation for training the evaluator networks.
+
+The paper trains its surrogate on pairs produced by the real toolchain
+(Timeloop + Accelergy wrapped in an exhaustive hardware-generation loop).
+Here the toolchain is :mod:`repro.hwmodel`; this module
+
+* precomputes a :class:`LayerCostTable` — per (searchable position,
+  candidate op, accelerator configuration) latency/energy so that any
+  architecture's cost under any configuration is a cheap table lookup;
+* uses the table to run the exhaustive hardware-generation oracle quickly;
+* emits :class:`EvaluatorDataset` objects holding architecture encodings,
+  optimal-hardware labels and cost-metric targets for supervised training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
+from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
+from repro.hwmodel.cost_model import AcceleratorCostModel
+from repro.hwmodel.metrics import HardwareMetrics, edap_cost
+from repro.nas.search_space import NASSearchSpace
+from repro.utils.logging import get_logger
+from repro.utils.seeding import as_rng
+
+logger = get_logger("evaluator.dataset")
+
+CostFunction = Callable[[HardwareMetrics], float]
+
+
+class LayerCostTable:
+    """Precomputed per-candidate, per-configuration latency / energy tables.
+
+    Because the hardware cost of a network is the sum of its layers' costs
+    (area being shared), the cost of *any* architecture under *any*
+    configuration decomposes into table lookups.  This turns the exhaustive
+    hardware generation oracle from seconds into microseconds per
+    architecture, which is what makes generating tens of thousands of
+    ground-truth samples feasible.
+    """
+
+    def __init__(
+        self,
+        nas_space: NASSearchSpace,
+        hw_space: HardwareSearchSpace,
+        cost_model: Optional[AcceleratorCostModel] = None,
+    ) -> None:
+        self.nas_space = nas_space
+        self.hw_space = hw_space
+        self.cost_model = cost_model or AcceleratorCostModel()
+        self.configs: List[AcceleratorConfig] = list(hw_space.enumerate())
+        num_configs = len(self.configs)
+        num_positions = nas_space.num_searchable
+        num_ops = nas_space.num_ops
+
+        self.op_latency = np.zeros((num_positions, num_ops, num_configs))
+        self.op_energy = np.zeros((num_positions, num_ops, num_configs))
+        self.fixed_latency = np.zeros(num_configs)
+        self.fixed_energy = np.zeros(num_configs)
+        self.area = np.zeros(num_configs)
+
+        fixed_layers = nas_space.fixed_workload_layers()
+        for config_index, config in enumerate(self.configs):
+            self.area[config_index] = self.cost_model.area_model.total_area_mm2(config)
+            for layer in fixed_layers:
+                self.fixed_latency[config_index] += self.cost_model.latency_model.layer_latency_ms(
+                    layer, config
+                )
+                self.fixed_energy[config_index] += self.cost_model.energy_model.layer_energy_mj(
+                    layer, config
+                )
+        for position in range(num_positions):
+            for op_idx in range(num_ops):
+                layers = nas_space.op_layers(position, op_idx)
+                if not layers:
+                    continue  # Zero op contributes nothing.
+                for config_index, config in enumerate(self.configs):
+                    latency = 0.0
+                    energy = 0.0
+                    for layer in layers:
+                        latency += self.cost_model.latency_model.layer_latency_ms(layer, config)
+                        energy += self.cost_model.energy_model.layer_energy_mj(layer, config)
+                    self.op_latency[position, op_idx, config_index] = latency
+                    self.op_energy[position, op_idx, config_index] = energy
+        logger.info(
+            "LayerCostTable built: %d positions x %d ops x %d configs",
+            num_positions,
+            num_ops,
+            num_configs,
+        )
+
+    # ------------------------------------------------------------------
+    # Fast evaluation
+    # ------------------------------------------------------------------
+    def metrics_per_config(self, op_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(latency, energy, area) arrays over every configuration for one architecture."""
+        indices = self.nas_space.validate_indices(op_indices)
+        latency = self.fixed_latency.copy()
+        energy = self.fixed_energy.copy()
+        for position, op_idx in enumerate(indices):
+            latency += self.op_latency[position, int(op_idx)]
+            energy += self.op_energy[position, int(op_idx)]
+        return latency, energy, self.area
+
+    def optimal_config(
+        self, op_indices: np.ndarray, cost_function: CostFunction = edap_cost
+    ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+        """Exhaustive-search the best configuration for one architecture."""
+        latency, energy, area = self.metrics_per_config(op_indices)
+        costs = np.array(
+            [
+                cost_function(HardwareMetrics(latency[i], energy[i], area[i]))
+                for i in range(len(self.configs))
+            ]
+        )
+        best = int(np.argmin(costs))
+        metrics = HardwareMetrics(latency[best], energy[best], area[best])
+        return self.configs[best], metrics
+
+    def metrics_for(self, op_indices: np.ndarray, config: AcceleratorConfig) -> HardwareMetrics:
+        """Metrics of one architecture on one specific configuration."""
+        latency, energy, area = self.metrics_per_config(op_indices)
+        config_index = self.configs.index(config)
+        return HardwareMetrics(latency[config_index], energy[config_index], area[config_index])
+
+
+@dataclass
+class EvaluatorDataset:
+    """Supervised training data for the evaluator networks.
+
+    Attributes
+    ----------
+    arch_encodings:
+        (num_samples, arch_width) architecture encodings (one-hot or soft).
+    hw_encodings:
+        (num_samples, hw_width) one-hot encodings of the *optimal* hardware.
+    hw_class_indices:
+        Per-field integer class labels of the optimal hardware.
+    metric_targets:
+        (num_samples, 3) latency / energy / area of the optimal hardware.
+    """
+
+    arch_encodings: np.ndarray
+    hw_encodings: np.ndarray
+    hw_class_indices: Dict[str, np.ndarray]
+    metric_targets: np.ndarray
+    encoding: EvaluatorEncoding
+
+    def __len__(self) -> int:
+        return self.arch_encodings.shape[0]
+
+    def split(self, train_fraction: float, rng: Optional[Union[int, np.random.Generator]] = None):
+        """Random (train, validation) split."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        generator = as_rng(rng)
+        permutation = generator.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        first, second = permutation[:cut], permutation[cut:]
+
+        def subset(indices: np.ndarray) -> "EvaluatorDataset":
+            return EvaluatorDataset(
+                arch_encodings=self.arch_encodings[indices],
+                hw_encodings=self.hw_encodings[indices],
+                hw_class_indices={k: v[indices] for k, v in self.hw_class_indices.items()},
+                metric_targets=self.metric_targets[indices],
+                encoding=self.encoding,
+            )
+
+        return subset(first), subset(second)
+
+    def batches(
+        self, batch_size: int, rng: Optional[Union[int, np.random.Generator]] = None, shuffle: bool = True
+    ):
+        """Yield index arrays forming mini-batches."""
+        generator = as_rng(rng)
+        indices = np.arange(len(self))
+        if shuffle:
+            generator.shuffle(indices)
+        for start in range(0, len(indices), batch_size):
+            yield indices[start : start + batch_size]
+
+
+def generate_evaluator_dataset(
+    nas_space: NASSearchSpace,
+    hw_space: HardwareSearchSpace,
+    num_samples: int,
+    cost_table: Optional[LayerCostTable] = None,
+    cost_function: CostFunction = edap_cost,
+    soft_fraction: float = 0.25,
+    soft_concentration: float = 4.0,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> EvaluatorDataset:
+    """Generate ground-truth samples from the (non-differentiable) oracle.
+
+    For every sample a random architecture is drawn, the exhaustive hardware
+    generation oracle finds its optimal accelerator, and the oracle's metrics
+    for that accelerator become the regression targets.  A ``soft_fraction``
+    of the samples use *softened* architecture encodings (Dirichlet noise
+    around the one-hot choice) so the surrogate behaves well on the soft
+    probability vectors it sees during differentiable search.
+    """
+    if num_samples <= 0:
+        raise ValueError("num_samples must be positive")
+    generator = as_rng(rng)
+    encoding = EvaluatorEncoding(nas_space=nas_space, hw_space=hw_space)
+    table = cost_table or LayerCostTable(nas_space, hw_space)
+
+    arch_encodings = np.zeros((num_samples, encoding.arch_width))
+    hw_encodings = np.zeros((num_samples, encoding.hw_width))
+    hw_labels: Dict[str, np.ndarray] = {
+        field_name: np.zeros(num_samples, dtype=np.int64) for field_name in HW_FIELD_ORDER
+    }
+    metric_targets = np.zeros((num_samples, encoding.num_metrics))
+
+    for sample_index in range(num_samples):
+        op_indices = nas_space.random_architecture(rng=generator)
+        best_config, best_metrics = table.optimal_config(op_indices, cost_function=cost_function)
+
+        arch_one_hot = encoding.encode_architecture(op_indices)
+        if generator.uniform() < soft_fraction:
+            matrix = arch_one_hot.reshape(nas_space.num_searchable, nas_space.num_ops)
+            noise = generator.dirichlet(
+                np.ones(nas_space.num_ops), size=nas_space.num_searchable
+            )
+            soft = soft_concentration * matrix + noise
+            soft = soft / soft.sum(axis=1, keepdims=True)
+            arch_encodings[sample_index] = soft.reshape(-1)
+        else:
+            arch_encodings[sample_index] = arch_one_hot
+
+        hw_encodings[sample_index] = encoding.encode_hardware(best_config)
+        for field_name, class_index in encoding.hardware_class_indices(best_config).items():
+            hw_labels[field_name][sample_index] = class_index
+        metric_targets[sample_index] = encoding.metrics_to_vector(best_metrics)
+
+    return EvaluatorDataset(
+        arch_encodings=arch_encodings,
+        hw_encodings=hw_encodings,
+        hw_class_indices=hw_labels,
+        metric_targets=metric_targets,
+        encoding=encoding,
+    )

@@ -1,0 +1,134 @@
+"""The combined differentiable evaluator (Figure 4 of the paper).
+
+``Evaluator`` chains the hardware generation network and the cost estimation
+network.  Given a (soft) architecture encoding it
+
+1. predicts the optimal accelerator design as per-field distributions,
+2. relaxes them with Gumbel-softmax into a near-one-hot hardware encoding,
+3. (feature forwarding) concatenates that encoding with the architecture
+   encoding and regresses latency / energy / area.
+
+Everything is differentiable, so during co-exploration the gradient of the
+hardware-cost term reaches the architecture parameters through this module.
+The evaluator is trained once (on oracle data) and *frozen* during search.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.evaluator.cost_estimation_net import CostEstimationNetwork
+from repro.evaluator.encoding import EvaluatorEncoding
+from repro.evaluator.hw_generation_net import HardwareGenerationNetwork
+from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
+from repro.hwmodel.metrics import HardwareMetrics
+from repro.nas.search_space import NASSearchSpace
+from repro.utils.seeding import as_rng
+
+
+class Evaluator(Module):
+    """Differentiable surrogate of the hardware generation + cost estimation toolchain."""
+
+    def __init__(
+        self,
+        nas_space: NASSearchSpace,
+        hw_space: HardwareSearchSpace,
+        feature_forwarding: bool = True,
+        gumbel_temperature: float = 1.0,
+        hw_hidden_features: int = 128,
+        cost_hidden_features: int = 256,
+        num_layers: int = 5,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        self.encoding = EvaluatorEncoding(nas_space=nas_space, hw_space=hw_space)
+        self.feature_forwarding = feature_forwarding
+        self.gumbel_temperature = gumbel_temperature
+        self.hw_generation = HardwareGenerationNetwork(
+            self.encoding, hidden_features=hw_hidden_features, num_layers=num_layers, rng=generator
+        )
+        self.cost_estimation = CostEstimationNetwork(
+            self.encoding,
+            feature_forwarding=feature_forwarding,
+            hidden_features=cost_hidden_features,
+            num_layers=num_layers,
+            rng=generator,
+        )
+        self._rng = generator
+
+    # ------------------------------------------------------------------
+    # Differentiable path (used during co-exploration)
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        arch_encoding: Tensor,
+        hard_gumbel: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> Tensor:
+        """Predicted (batch, 3) cost metrics for (soft) architecture encodings."""
+        arch_encoding = as_tensor(arch_encoding)
+        if arch_encoding.ndim == 1:
+            arch_encoding = arch_encoding.reshape(1, -1)
+        if not self.feature_forwarding:
+            return self.cost_estimation(arch_encoding)
+        hw_features = self.hw_generation.forward_gumbel(
+            arch_encoding,
+            temperature=self.gumbel_temperature,
+            hard=hard_gumbel,
+            rng=rng if rng is not None else self._rng,
+        )
+        return self.cost_estimation(arch_encoding, hw_features)
+
+    # ------------------------------------------------------------------
+    # Non-differentiable convenience inference
+    # ------------------------------------------------------------------
+    def predict(self, arch_encoding: np.ndarray) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+        """Predict the optimal accelerator and its metrics for one architecture."""
+        was_training = self.training
+        self.eval()
+        try:
+            encoding = np.asarray(arch_encoding, dtype=np.float64).reshape(1, -1)
+            config = self.hw_generation.predict_config(encoding)
+            if self.feature_forwarding:
+                hw_encoding = self.encoding.encode_hardware(config).reshape(1, -1)
+                metrics = self.cost_estimation.predict_metrics(encoding, hw_encoding)
+            else:
+                metrics = self.cost_estimation.predict_metrics(encoding)
+        finally:
+            self.train(was_training)
+        return config, metrics
+
+    def predict_metrics(self, arch_encoding: np.ndarray) -> HardwareMetrics:
+        """Predicted metrics only (the optimal-hardware cost of the architecture)."""
+        _, metrics = self.predict(arch_encoding)
+        return metrics
+
+    # ------------------------------------------------------------------
+    # Accuracy evaluation (Table 1, "Overall Evaluator" rows)
+    # ------------------------------------------------------------------
+    def end_to_end_accuracy(self, arch_encodings: np.ndarray, metric_targets: np.ndarray) -> dict:
+        """Per-metric relative accuracy of the full (generation -> estimation) chain."""
+        was_training = self.training
+        self.eval()
+        try:
+            arch = Tensor(np.asarray(arch_encodings))
+            if self.feature_forwarding:
+                hw_features = self.hw_generation.forward_soft_encoding(arch)
+                predictions = self.cost_estimation(arch, hw_features).data
+            else:
+                predictions = self.cost_estimation(arch).data
+        finally:
+            self.train(was_training)
+        targets = np.asarray(metric_targets, dtype=np.float64)
+        relative_error = np.abs(predictions - targets) / np.abs(targets)
+        from repro.evaluator.encoding import METRIC_ORDER
+
+        return {
+            metric: float(1.0 - relative_error[:, index].mean())
+            for index, metric in enumerate(METRIC_ORDER)
+        }

@@ -1,0 +1,129 @@
+"""The hardware generation network (Section 3.3, left half of Figure 4).
+
+A five-layer residual MLP that models the exhaustive hardware-search tool as
+a classification problem: given an architecture encoding it predicts, for
+each hardware design field (PE_X, PE_Y, RF size, dataflow), a distribution
+over the candidate values.  Its Gumbel-softmax output is what gets forwarded
+to the cost estimation network so that the forwarded features stay close to
+the one-hot vectors the cost network was trained on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.autograd import concatenate
+from repro.autograd.functional import gumbel_softmax, softmax
+from repro.autograd.layers import Linear, MLP
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.utils.seeding import as_rng
+
+
+class HardwareGenerationNetwork(Module):
+    """Residual MLP mapping architecture encodings to hardware-field logits."""
+
+    def __init__(
+        self,
+        encoding: EvaluatorEncoding,
+        hidden_features: int = 128,
+        num_layers: int = 5,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        self.encoding = encoding
+        self.field_sizes = encoding.hw_field_sizes
+        self.trunk = MLP(
+            in_features=encoding.arch_width,
+            out_features=hidden_features,
+            hidden_features=hidden_features,
+            num_layers=num_layers - 1,
+            use_batchnorm=False,
+            residual=True,
+            rng=generator,
+        )
+        self.heads: Dict[str, Linear] = {}
+        for field_name in HW_FIELD_ORDER:
+            head = Linear(hidden_features, self.field_sizes[field_name], rng=generator)
+            self.add_module(f"head_{field_name}", head)
+            self.heads[field_name] = head
+
+    # ------------------------------------------------------------------
+    # Forward views
+    # ------------------------------------------------------------------
+    def forward(self, arch_encoding: Tensor) -> Dict[str, Tensor]:
+        """Per-field logits for a batch of architecture encodings."""
+        arch_encoding = as_tensor(arch_encoding)
+        if arch_encoding.ndim == 1:
+            arch_encoding = arch_encoding.reshape(1, -1)
+        features = self.trunk(arch_encoding).relu()
+        return {field_name: self.heads[field_name](features) for field_name in HW_FIELD_ORDER}
+
+    def forward_probabilities(self, arch_encoding: Tensor) -> Dict[str, Tensor]:
+        """Per-field softmax probabilities."""
+        logits = self.forward(arch_encoding)
+        return {name: softmax(values, axis=-1) for name, values in logits.items()}
+
+    def forward_gumbel(
+        self,
+        arch_encoding: Tensor,
+        temperature: float = 1.0,
+        hard: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> Tensor:
+        """Concatenated Gumbel-softmax sample of the hardware design features.
+
+        This is the feature-forwarding path of the paper: the output is a
+        (near) one-hot hardware encoding that is differentiable with respect
+        to both this network's weights and the architecture encoding.
+        """
+        logits = self.forward(arch_encoding)
+        pieces = [
+            gumbel_softmax(logits[field_name], temperature=temperature, hard=hard, rng=rng)
+            for field_name in HW_FIELD_ORDER
+        ]
+        return concatenate(pieces, axis=-1)
+
+    def forward_soft_encoding(self, arch_encoding: Tensor) -> Tensor:
+        """Concatenated plain-softmax hardware encoding (no Gumbel noise)."""
+        probabilities = self.forward_probabilities(arch_encoding)
+        return concatenate([probabilities[name] for name in HW_FIELD_ORDER], axis=-1)
+
+    # ------------------------------------------------------------------
+    # Discrete prediction
+    # ------------------------------------------------------------------
+    def predict_config(self, arch_encoding: np.ndarray) -> AcceleratorConfig:
+        """Predict the optimal accelerator configuration for one architecture."""
+        logits = self.forward(Tensor(np.asarray(arch_encoding).reshape(1, -1)))
+        hw_space = self.encoding.hw_space
+        choices = {
+            "pe_x": hw_space.pe_x_choices,
+            "pe_y": hw_space.pe_y_choices,
+            "rf_size": hw_space.rf_choices,
+            "dataflow": hw_space.dataflow_choices,
+        }
+        selected = {}
+        for field_name in HW_FIELD_ORDER:
+            index = int(logits[field_name].data.reshape(-1, self.field_sizes[field_name]).argmax(axis=-1)[0])
+            selected[field_name] = choices[field_name][index]
+        return AcceleratorConfig(
+            pe_x=int(selected["pe_x"]),
+            pe_y=int(selected["pe_y"]),
+            rf_size=int(selected["rf_size"]),
+            dataflow=selected["dataflow"],
+        )
+
+    def field_accuracy(self, arch_encodings: np.ndarray, hw_class_indices: Dict[str, np.ndarray]) -> Dict[str, float]:
+        """Per-field top-1 accuracy against oracle labels."""
+        logits = self.forward(Tensor(np.asarray(arch_encodings)))
+        accuracies: Dict[str, float] = {}
+        for field_name in HW_FIELD_ORDER:
+            predictions = logits[field_name].data.argmax(axis=-1)
+            targets = np.asarray(hw_class_indices[field_name]).reshape(-1)
+            accuracies[field_name] = float((predictions == targets).mean())
+        return accuracies

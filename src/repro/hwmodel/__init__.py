@@ -1,0 +1,55 @@
+"""Accelerator hardware cost model (Timeloop + Accelergy substitute).
+
+This subpackage models an Eyeriss-style DNN accelerator: a 2-D array of
+processing elements with per-PE register files, a shared global buffer and a
+DRAM interface, executing convolution layers under one of three dataflows
+(weight / output / row stationary).  It provides
+
+* the hardware design space H (:class:`HardwareSearchSpace`),
+* an analytical latency / energy / area oracle (:class:`AcceleratorCostModel`),
+* the exhaustive hardware generation tool
+  (:class:`ExhaustiveHardwareGenerator`) used for ground truth and for the
+  one-time exact generation after the search.
+"""
+
+from repro.hwmodel.accelerator import (
+    AcceleratorConfig,
+    Dataflow,
+    HardwareSearchSpace,
+    tiny_search_space,
+)
+from repro.hwmodel.cost_model import AcceleratorCostModel, LayerCostReport
+from repro.hwmodel.dataflow import MappingResult, analyze_mapping, utilization_by_dataflow
+from repro.hwmodel.generator import (
+    ExhaustiveHardwareGenerator,
+    GenerationResult,
+    make_linear_cost,
+)
+from repro.hwmodel.metrics import HardwareMetrics, aggregate_metrics, edap_cost, linear_cost
+from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload, conv_layer, mbconv_layers
+
+__all__ = [
+    "AcceleratorConfig",
+    "Dataflow",
+    "HardwareSearchSpace",
+    "tiny_search_space",
+    "AcceleratorCostModel",
+    "LayerCostReport",
+    "MappingResult",
+    "analyze_mapping",
+    "utilization_by_dataflow",
+    "ExhaustiveHardwareGenerator",
+    "GenerationResult",
+    "make_linear_cost",
+    "HardwareMetrics",
+    "aggregate_metrics",
+    "edap_cost",
+    "linear_cost",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyParameters",
+    "ConvLayerShape",
+    "NetworkWorkload",
+    "conv_layer",
+    "mbconv_layers",
+]

@@ -1,0 +1,256 @@
+"""Accelerator configuration and the hardware design space H.
+
+Following the paper (Section 4.1), the accelerator backbone is an
+Eyeriss-style 2-D PE array and the searched design parameters are:
+
+* ``pe_x`` and ``pe_y`` — the PE array dimensions, each in [8, 24];
+* ``rf_size`` — register-file words per PE, in [4, 64];
+* ``dataflow`` — one of WS (weight stationary), OS (output stationary) and
+  RS (row stationary).
+
+Within the evaluator network, each parameter is represented as a one-hot
+vector over its discrete candidate values, "to simplify the cascaded
+connection between the hardware generation and the cost estimation networks".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.seeding import as_rng
+
+
+class Dataflow(str, Enum):
+    """Loop-ordering strategies offered by the accelerator backbone."""
+
+    WEIGHT_STATIONARY = "WS"
+    OUTPUT_STATIONARY = "OS"
+    ROW_STATIONARY = "RS"
+
+    @classmethod
+    def from_name(cls, name: Union[str, "Dataflow"]) -> "Dataflow":
+        """Parse a dataflow from its short name (``"WS"``/``"OS"``/``"RS"``)."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name.upper())
+        except ValueError as exc:
+            valid = ", ".join(d.value for d in cls)
+            raise ValueError(f"unknown dataflow {name!r}; expected one of {valid}") from exc
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A single point in the hardware design space."""
+
+    pe_x: int
+    pe_y: int
+    rf_size: int
+    dataflow: Dataflow
+
+    def __post_init__(self) -> None:
+        if self.pe_x <= 0 or self.pe_y <= 0:
+            raise ValueError("PE array dimensions must be positive")
+        if self.rf_size <= 0:
+            raise ValueError("register file size must be positive")
+        object.__setattr__(self, "dataflow", Dataflow.from_name(self.dataflow))
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements."""
+        return self.pe_x * self.pe_y
+
+    @property
+    def total_rf_words(self) -> int:
+        """Aggregate register-file capacity across the array (in words)."""
+        return self.num_pes * self.rf_size
+
+    def as_dict(self) -> Dict[str, Union[int, str]]:
+        """Plain-dict form, convenient for JSON serialisation."""
+        return {
+            "pe_x": self.pe_x,
+            "pe_y": self.pe_y,
+            "rf_size": self.rf_size,
+            "dataflow": self.dataflow.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Union[int, str]]) -> "AcceleratorConfig":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            pe_x=int(data["pe_x"]),
+            pe_y=int(data["pe_y"]),
+            rf_size=int(data["rf_size"]),
+            dataflow=Dataflow.from_name(str(data["dataflow"])),
+        )
+
+
+# Default discretisation of the search space.  The paper allows PE_X / PE_Y in
+# [8, 24] and RF size in [4, 64]; we discretise these ranges so that the
+# exhaustive oracle stays tractable and the one-hot encoding stays compact.
+DEFAULT_PE_X_CHOICES: Tuple[int, ...] = (8, 10, 12, 14, 16, 18, 20, 22, 24)
+DEFAULT_PE_Y_CHOICES: Tuple[int, ...] = (8, 10, 12, 14, 16, 18, 20, 22, 24)
+DEFAULT_RF_CHOICES: Tuple[int, ...] = (4, 8, 16, 32, 64)
+DEFAULT_DATAFLOW_CHOICES: Tuple[Dataflow, ...] = (
+    Dataflow.WEIGHT_STATIONARY,
+    Dataflow.OUTPUT_STATIONARY,
+    Dataflow.ROW_STATIONARY,
+)
+
+
+@dataclass(frozen=True)
+class HardwareSearchSpace:
+    """The discrete hardware design space H.
+
+    Each design parameter has a finite list of candidate values.  The space
+    supports enumeration (for the exhaustive hardware generation oracle),
+    uniform sampling (for generating surrogate training data), and one-hot
+    encoding / decoding (for the evaluator networks).
+    """
+
+    pe_x_choices: Tuple[int, ...] = DEFAULT_PE_X_CHOICES
+    pe_y_choices: Tuple[int, ...] = DEFAULT_PE_Y_CHOICES
+    rf_choices: Tuple[int, ...] = DEFAULT_RF_CHOICES
+    dataflow_choices: Tuple[Dataflow, ...] = DEFAULT_DATAFLOW_CHOICES
+
+    def __post_init__(self) -> None:
+        for name in ("pe_x_choices", "pe_y_choices", "rf_choices", "dataflow_choices"):
+            values = getattr(self, name)
+            if len(values) == 0:
+                raise ValueError(f"{name} must not be empty")
+            if len(set(values)) != len(values):
+                raise ValueError(f"{name} contains duplicates")
+        object.__setattr__(self, "pe_x_choices", tuple(sorted(self.pe_x_choices)))
+        object.__setattr__(self, "pe_y_choices", tuple(sorted(self.pe_y_choices)))
+        object.__setattr__(self, "rf_choices", tuple(sorted(self.rf_choices)))
+        object.__setattr__(
+            self,
+            "dataflow_choices",
+            tuple(Dataflow.from_name(d) for d in self.dataflow_choices),
+        )
+
+    # ------------------------------------------------------------------
+    # Size / enumeration
+    # ------------------------------------------------------------------
+    @property
+    def field_sizes(self) -> Dict[str, int]:
+        """Number of candidate values per design parameter."""
+        return {
+            "pe_x": len(self.pe_x_choices),
+            "pe_y": len(self.pe_y_choices),
+            "rf_size": len(self.rf_choices),
+            "dataflow": len(self.dataflow_choices),
+        }
+
+    @property
+    def encoding_width(self) -> int:
+        """Width of the concatenated one-hot encoding of a configuration."""
+        return sum(self.field_sizes.values())
+
+    def __len__(self) -> int:
+        sizes = self.field_sizes
+        return sizes["pe_x"] * sizes["pe_y"] * sizes["rf_size"] * sizes["dataflow"]
+
+    def __iter__(self) -> Iterator[AcceleratorConfig]:
+        return self.enumerate()
+
+    def enumerate(self) -> Iterator[AcceleratorConfig]:
+        """Yield every configuration in the space (the oracle's search set)."""
+        for pe_x, pe_y, rf, dataflow in itertools.product(
+            self.pe_x_choices, self.pe_y_choices, self.rf_choices, self.dataflow_choices
+        ):
+            yield AcceleratorConfig(pe_x=pe_x, pe_y=pe_y, rf_size=rf, dataflow=dataflow)
+
+    def contains(self, config: AcceleratorConfig) -> bool:
+        """Return whether ``config`` lies in the discretised space."""
+        return (
+            config.pe_x in self.pe_x_choices
+            and config.pe_y in self.pe_y_choices
+            and config.rf_size in self.rf_choices
+            and config.dataflow in self.dataflow_choices
+        )
+
+    def sample(self, rng: Optional[Union[int, np.random.Generator]] = None) -> AcceleratorConfig:
+        """Sample a configuration uniformly at random."""
+        generator = as_rng(rng)
+        return AcceleratorConfig(
+            pe_x=int(generator.choice(self.pe_x_choices)),
+            pe_y=int(generator.choice(self.pe_y_choices)),
+            rf_size=int(generator.choice(self.rf_choices)),
+            dataflow=self.dataflow_choices[int(generator.integers(len(self.dataflow_choices)))],
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, config: AcceleratorConfig) -> np.ndarray:
+        """One-hot encode a configuration as a flat float vector."""
+        if not self.contains(config):
+            raise ValueError(f"configuration {config} is not in the search space")
+        pieces = []
+        for choices, value in (
+            (self.pe_x_choices, config.pe_x),
+            (self.pe_y_choices, config.pe_y),
+            (self.rf_choices, config.rf_size),
+            (self.dataflow_choices, config.dataflow),
+        ):
+            onehot = np.zeros(len(choices), dtype=np.float64)
+            onehot[list(choices).index(value)] = 1.0
+            pieces.append(onehot)
+        return np.concatenate(pieces)
+
+    def encode_indices(self, config: AcceleratorConfig) -> Dict[str, int]:
+        """Return the per-field class indices of ``config`` (for CE training)."""
+        if not self.contains(config):
+            raise ValueError(f"configuration {config} is not in the search space")
+        return {
+            "pe_x": list(self.pe_x_choices).index(config.pe_x),
+            "pe_y": list(self.pe_y_choices).index(config.pe_y),
+            "rf_size": list(self.rf_choices).index(config.rf_size),
+            "dataflow": list(self.dataflow_choices).index(config.dataflow),
+        }
+
+    def decode(self, encoding: np.ndarray) -> AcceleratorConfig:
+        """Decode a (possibly soft) encoding back to the nearest configuration."""
+        encoding = np.asarray(encoding, dtype=np.float64).reshape(-1)
+        if encoding.shape[0] != self.encoding_width:
+            raise ValueError(
+                f"expected encoding of width {self.encoding_width}, got {encoding.shape[0]}"
+            )
+        offset = 0
+        values: List[Union[int, Dataflow]] = []
+        for choices in (self.pe_x_choices, self.pe_y_choices, self.rf_choices, self.dataflow_choices):
+            segment = encoding[offset : offset + len(choices)]
+            values.append(choices[int(np.argmax(segment))])
+            offset += len(choices)
+        return AcceleratorConfig(
+            pe_x=int(values[0]),
+            pe_y=int(values[1]),
+            rf_size=int(values[2]),
+            dataflow=values[3],  # type: ignore[arg-type]
+        )
+
+    def field_slices(self) -> Dict[str, slice]:
+        """Return the slice of the flat encoding owned by each design field."""
+        sizes = self.field_sizes
+        slices: Dict[str, slice] = {}
+        offset = 0
+        for field in ("pe_x", "pe_y", "rf_size", "dataflow"):
+            slices[field] = slice(offset, offset + sizes[field])
+            offset += sizes[field]
+        return slices
+
+
+def tiny_search_space() -> HardwareSearchSpace:
+    """A deliberately small space used by fast unit tests."""
+    return HardwareSearchSpace(
+        pe_x_choices=(8, 16, 24),
+        pe_y_choices=(8, 16, 24),
+        rf_choices=(4, 16, 64),
+        dataflow_choices=DEFAULT_DATAFLOW_CHOICES,
+    )

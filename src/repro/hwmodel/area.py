@@ -1,0 +1,40 @@
+"""Analytical area model.
+
+Die area is the sum of PE datapath area, register-file area (per word, per
+PE), the global buffer, the network-on-chip and fixed I/O overhead.  Area is
+independent of the workload: it is a property of the accelerator design only.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+
+
+class AreaModel:
+    """Estimate accelerator die area in square millimetres."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    def pe_array_area_mm2(self, config: AcceleratorConfig) -> float:
+        """Area of the PE datapaths (multipliers, adders, control)."""
+        return config.num_pes * self.technology.pe_area_mm2
+
+    def rf_area_mm2(self, config: AcceleratorConfig) -> float:
+        """Aggregate register-file area across all PEs."""
+        return config.total_rf_words * self.technology.rf_area_per_word_mm2
+
+    def noc_area_mm2(self, config: AcceleratorConfig) -> float:
+        """Network-on-chip area, proportional to the number of PEs."""
+        return config.num_pes * self.technology.noc_area_per_pe_mm2
+
+    def total_area_mm2(self, config: AcceleratorConfig) -> float:
+        """Total die area of the accelerator."""
+        return (
+            self.pe_array_area_mm2(config)
+            + self.rf_area_mm2(config)
+            + self.noc_area_mm2(config)
+            + self.technology.buffer_area_mm2
+            + self.technology.io_area_mm2
+        )

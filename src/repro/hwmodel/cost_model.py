@@ -1,0 +1,105 @@
+"""Top-level accelerator cost oracle (the Timeloop + Accelergy stand-in).
+
+:class:`AcceleratorCostModel` evaluates a (workload, accelerator) pair and
+returns :class:`~repro.hwmodel.metrics.HardwareMetrics` — latency, energy and
+area — exactly the quantities the paper obtains from Timeloop and Accelergy.
+It is the *non-differentiable* ground truth that the evaluator network is
+trained to imitate, and it is also used after the search to score the final
+designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.area import AreaModel
+from repro.hwmodel.energy import EnergyModel
+from repro.hwmodel.latency import LatencyModel
+from repro.hwmodel.metrics import HardwareMetrics
+from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload
+
+
+@dataclass(frozen=True)
+class LayerCostReport:
+    """Per-layer cost record produced by :meth:`AcceleratorCostModel.evaluate_detailed`."""
+
+    layer_name: str
+    latency_ms: float
+    energy_mj: float
+    spatial_utilization: float
+
+
+class AcceleratorCostModel:
+    """Analytical latency / energy / area oracle for an Eyeriss-style accelerator."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+        self.latency_model = LatencyModel(technology)
+        self.area_model = AreaModel(technology)
+        self.energy_model = EnergyModel(
+            technology, latency_model=self.latency_model, area_model=self.area_model
+        )
+
+    # ------------------------------------------------------------------
+    # Layer-level evaluation
+    # ------------------------------------------------------------------
+    def evaluate_layer(self, layer: ConvLayerShape, config: AcceleratorConfig) -> HardwareMetrics:
+        """Latency / energy / area of a single layer on ``config``."""
+        return HardwareMetrics(
+            latency_ms=self.latency_model.layer_latency_ms(layer, config),
+            energy_mj=self.energy_model.layer_energy_mj(layer, config),
+            area_mm2=self.area_model.total_area_mm2(config),
+        )
+
+    # ------------------------------------------------------------------
+    # Network-level evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
+    ) -> HardwareMetrics:
+        """Latency / energy / area of an entire network on ``config``.
+
+        Latency and energy accumulate across layers; area is a property of
+        the accelerator and is shared by all layers.
+        """
+        layers = list(workload)
+        if not layers:
+            raise ValueError("workload must contain at least one layer")
+        latency = 0.0
+        energy = 0.0
+        for layer in layers:
+            latency += self.latency_model.layer_latency_ms(layer, config)
+            energy += self.energy_model.layer_energy_mj(layer, config)
+        return HardwareMetrics(
+            latency_ms=latency,
+            energy_mj=energy,
+            area_mm2=self.area_model.total_area_mm2(config),
+        )
+
+    def evaluate_detailed(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
+    ) -> List[LayerCostReport]:
+        """Per-layer breakdown of the evaluation (diagnostics / reporting)."""
+        from repro.hwmodel.dataflow import analyze_mapping
+
+        reports: List[LayerCostReport] = []
+        for layer in workload:
+            mapping = analyze_mapping(layer, config)
+            reports.append(
+                LayerCostReport(
+                    layer_name=layer.name,
+                    latency_ms=self.latency_model.layer_latency_ms(layer, config),
+                    energy_mj=self.energy_model.layer_energy_mj(layer, config),
+                    spatial_utilization=mapping.spatial_utilization,
+                )
+            )
+        return reports
+
+    def evaluate_dict(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
+    ) -> Dict[str, float]:
+        """Evaluation result as a flat dict (latency_ms, energy_mj, area_mm2, edap)."""
+        return self.evaluate(workload, config).as_dict()

@@ -1,0 +1,148 @@
+"""Dataflow mapping analysis for the Eyeriss-style PE array.
+
+Executing one convolution layer on the accelerator requires mapping the
+seven-dimensional loop nest (Figure 1b of the paper) onto the 2-D PE array
+and the per-PE register files.  The choice of which loops are kept spatial
+and which tensor is held "stationary" in the register file is the dataflow.
+
+This module analyses a (layer, accelerator) pair for each of the three
+supported dataflows and produces a :class:`MappingResult` describing
+
+* how many PEs are usefully busy (spatial utilisation),
+* how many compute cycles the layer needs,
+* how many times each tensor has to be re-fetched from the global buffer
+  (which the latency and energy models turn into memory traffic).
+
+The model is intentionally analytical — the same level of abstraction as
+Timeloop's mapping analysis — and reproduces the qualitative interactions
+that motivate co-exploration:
+
+* Weight-stationary arrays parallelise over channels, so depthwise/separable
+  layers (one input channel per group) utilise them poorly — the TPU
+  behaviour quoted in the paper's introduction.
+* Output-stationary arrays parallelise over the output feature map, so they
+  suffer on late layers whose spatial size has shrunk.
+* Row-stationary sits in between, and benefits most from larger register
+  files.
+* Larger register files reduce re-fetch traffic for every dataflow, at an
+  area / energy premium handled by the sibling models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hwmodel.accelerator import AcceleratorConfig, Dataflow
+from repro.hwmodel.workload import ConvLayerShape
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Result of mapping one layer onto one accelerator configuration."""
+
+    layer_name: str
+    dataflow: Dataflow
+    spatial_utilization: float
+    compute_cycles: float
+    input_fetches: float
+    weight_fetches: float
+    output_fetches: float
+    num_passes: int
+
+    @property
+    def buffer_traffic_words(self) -> float:
+        """Words moved between the global buffer and the PE array."""
+        return self.input_fetches + self.weight_fetches + self.output_fetches
+
+
+def _fold_utilization(extent: int, array_dim: int) -> float:
+    """Utilisation of one array dimension when a loop of ``extent`` is folded onto it."""
+    if extent <= 0:
+        return 0.0
+    folds = math.ceil(extent / array_dim)
+    return extent / (folds * array_dim)
+
+
+def _passes(stationary_words: float, total_rf_words: int) -> int:
+    """Number of times the stationary tensor must be swapped through the RFs."""
+    return max(1, math.ceil(stationary_words / max(total_rf_words, 1)))
+
+
+def analyze_mapping(layer: ConvLayerShape, config: AcceleratorConfig) -> MappingResult:
+    """Analyse how ``layer`` maps onto ``config`` under its dataflow.
+
+    Returns
+    -------
+    MappingResult
+        Spatial utilisation, compute cycles and per-tensor fetch counts
+        (in words) from the global buffer.
+    """
+    dataflow = config.dataflow
+    pe_x, pe_y = config.pe_x, config.pe_y
+    total_rf = config.total_rf_words
+
+    channels_per_group = layer.c // layer.groups
+    macs = layer.macs
+
+    if dataflow is Dataflow.WEIGHT_STATIONARY:
+        # Output channels across PE columns, input channels across PE rows.
+        util_x = _fold_utilization(layer.k, pe_x)
+        util_y = _fold_utilization(channels_per_group, pe_y)
+        passes = _passes(layer.weight_size, total_rf)
+        input_fetches = layer.input_size * passes
+        weight_fetches = float(layer.weight_size)
+        # Partial sums are spilled once per input-channel fold.
+        channel_folds = math.ceil(channels_per_group / pe_y)
+        output_fetches = layer.output_size * max(1.0, channel_folds)
+    elif dataflow is Dataflow.OUTPUT_STATIONARY:
+        # Output columns across PE columns, output rows across PE rows.
+        util_x = _fold_utilization(layer.out_w, pe_x)
+        util_y = _fold_utilization(layer.out_h, pe_y)
+        passes = _passes(layer.output_size, total_rf)
+        input_fetches = layer.input_size * passes
+        weight_fetches = layer.weight_size * passes
+        output_fetches = float(layer.output_size)
+    elif dataflow is Dataflow.ROW_STATIONARY:
+        # Filter rows across PE rows (folded with output channels), output
+        # rows across PE columns — the Eyeriss row-stationary scheme.
+        row_folds = max(1, pe_y // max(layer.r, 1))
+        util_x = _fold_utilization(layer.out_h, pe_x)
+        util_y = _fold_utilization(layer.r * min(row_folds, layer.k), pe_y)
+        row_working_set = layer.c * layer.r * layer.w + layer.weight_size
+        passes = _passes(row_working_set, total_rf)
+        # Row stationary amortises both input and weight refetches.
+        refetch = 1.0 + 0.5 * (passes - 1)
+        input_fetches = layer.input_size * refetch
+        weight_fetches = layer.weight_size * refetch
+        output_fetches = float(layer.output_size)
+    else:  # pragma: no cover - the enum is closed
+        raise ValueError(f"unsupported dataflow {dataflow}")
+
+    utilization = max(util_x * util_y, 1e-6)
+    compute_cycles = macs / (config.num_pes * utilization)
+    # Each pass pays a pipeline fill / drain overhead proportional to the array size.
+    compute_cycles += passes * (pe_x + pe_y)
+
+    return MappingResult(
+        layer_name=layer.name,
+        dataflow=dataflow,
+        spatial_utilization=utilization,
+        compute_cycles=float(compute_cycles),
+        input_fetches=float(input_fetches),
+        weight_fetches=float(weight_fetches),
+        output_fetches=float(output_fetches),
+        num_passes=passes,
+    )
+
+
+def utilization_by_dataflow(layer: ConvLayerShape, config: AcceleratorConfig) -> Dict[Dataflow, float]:
+    """Spatial utilisation of ``layer`` under every dataflow (diagnostics)."""
+    utilizations = {}
+    for dataflow in Dataflow:
+        probe = AcceleratorConfig(
+            pe_x=config.pe_x, pe_y=config.pe_y, rf_size=config.rf_size, dataflow=dataflow
+        )
+        utilizations[dataflow] = analyze_mapping(layer, probe).spatial_utilization
+    return utilizations

@@ -1,0 +1,58 @@
+"""Analytical energy model (the Accelergy-like half of the oracle).
+
+Energy is decomposed into MAC energy, register-file accesses, global-buffer
+accesses, DRAM accesses and leakage.  Register-file access energy grows with
+the register-file size (bigger RFs burn more per access), which is what makes
+the RF size a genuine trade-off rather than a free win.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.dataflow import MappingResult, analyze_mapping
+from repro.hwmodel.latency import LatencyModel
+from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.hwmodel.workload import ConvLayerShape
+
+
+class EnergyModel:
+    """Estimate per-layer energy consumption in millijoules."""
+
+    def __init__(
+        self,
+        technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+        latency_model: "LatencyModel | None" = None,
+        area_model: "object | None" = None,
+    ) -> None:
+        self.technology = technology
+        self._latency_model = latency_model or LatencyModel(technology)
+        # Area model is injected lazily by the cost model to avoid an import cycle.
+        self._area_model = area_model
+
+    def rf_access_energy_pj(self, config: AcceleratorConfig) -> float:
+        """Energy per register-file access, increasing with RF size."""
+        tech = self.technology
+        return tech.rf_access_energy_pj + tech.rf_energy_per_word_pj * config.rf_size
+
+    def layer_energy_mj(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
+        """Energy to execute one layer on ``config``, in millijoules."""
+        tech = self.technology
+        mapping: MappingResult = analyze_mapping(layer, config)
+
+        mac_energy = layer.macs * tech.mac_energy_pj
+        # Each MAC performs roughly two RF reads and one RF write.
+        rf_energy = 3.0 * layer.macs * self.rf_access_energy_pj(config)
+        buffer_energy = mapping.buffer_traffic_words * tech.buffer_access_energy_pj
+        dram_words = self._latency_model.dram_traffic_words(layer, mapping)
+        dram_energy = dram_words * tech.dram_access_energy_pj
+
+        dynamic_pj = mac_energy + rf_energy + buffer_energy + dram_energy
+
+        leakage_mj = 0.0
+        if self._area_model is not None:
+            latency_ms = self._latency_model.layer_latency_ms(layer, config)
+            area_mm2 = self._area_model.total_area_mm2(config)
+            # leakage power (mW) * time (ms) = energy in microjoules; convert to mJ.
+            leakage_mj = tech.leakage_mw_per_mm2 * area_mm2 * latency_ms * 1e-3
+
+        return dynamic_pj * 1e-9 + leakage_mj

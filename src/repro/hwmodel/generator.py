@@ -1,0 +1,108 @@
+"""Exhaustive-search hardware generation tool (the non-differentiable oracle).
+
+Section 3.3: "the hardware generation tool takes the network architecture as
+the input, and proposes a hardware accelerator design ... By using exact
+algorithms such as exhaustive search ... it outputs the optimal solution for
+the given network architecture, within the hardware search space H."
+
+This module provides that tool.  It is used (a) to label the training data
+for the hardware generation network, (b) as the post-search one-time exact
+generation step for both DANCE and the baselines, and (c) as the speed
+reference for the surrogate-vs-oracle comparison in Section 4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
+from repro.hwmodel.cost_model import AcceleratorCostModel
+from repro.hwmodel.metrics import HardwareMetrics, edap_cost, linear_cost
+from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload
+
+CostFunction = Callable[[HardwareMetrics], float]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Best configuration found for a workload, with its metrics and cost."""
+
+    config: AcceleratorConfig
+    metrics: HardwareMetrics
+    cost: float
+    evaluations: int
+
+
+class ExhaustiveHardwareGenerator:
+    """Search the whole hardware space H for the configuration minimising a cost.
+
+    Parameters
+    ----------
+    search_space:
+        The discrete hardware design space to enumerate.
+    cost_model:
+        The analytical oracle used to score each candidate.
+    cost_function:
+        Scalarisation of the three metrics; defaults to EDAP (Eq. 4), and a
+        linear combination (Eq. 3) can be passed instead.
+    """
+
+    def __init__(
+        self,
+        search_space: Optional[HardwareSearchSpace] = None,
+        cost_model: Optional[AcceleratorCostModel] = None,
+        cost_function: CostFunction = edap_cost,
+    ) -> None:
+        self.search_space = search_space or HardwareSearchSpace()
+        self.cost_model = cost_model or AcceleratorCostModel()
+        self.cost_function = cost_function
+
+    def generate(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]]
+    ) -> GenerationResult:
+        """Return the optimal accelerator for ``workload`` under the cost function."""
+        layers = list(workload)
+        if not layers:
+            raise ValueError("workload must contain at least one layer")
+        best: Optional[GenerationResult] = None
+        evaluations = 0
+        for config in self.search_space.enumerate():
+            metrics = self.cost_model.evaluate(layers, config)
+            cost = self.cost_function(metrics)
+            evaluations += 1
+            if best is None or cost < best.cost:
+                best = GenerationResult(
+                    config=config, metrics=metrics, cost=cost, evaluations=evaluations
+                )
+        assert best is not None  # the space is never empty
+        return GenerationResult(
+            config=best.config, metrics=best.metrics, cost=best.cost, evaluations=evaluations
+        )
+
+    def top_k(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], k: int = 5
+    ) -> List[GenerationResult]:
+        """Return the ``k`` best configurations (useful for robustness analyses)."""
+        layers = list(workload)
+        scored: List[Tuple[float, AcceleratorConfig, HardwareMetrics]] = []
+        for config in self.search_space.enumerate():
+            metrics = self.cost_model.evaluate(layers, config)
+            scored.append((self.cost_function(metrics), config, metrics))
+        scored.sort(key=lambda item: item[0])
+        total = len(scored)
+        return [
+            GenerationResult(config=config, metrics=metrics, cost=cost, evaluations=total)
+            for cost, config, metrics in scored[:k]
+        ]
+
+
+def make_linear_cost(
+    lambda_latency: float = 1.0, lambda_energy: float = 1.0, lambda_area: float = 1.0
+) -> CostFunction:
+    """Build a linear cost function (Eq. 3) with the given weights."""
+
+    def cost(metrics: HardwareMetrics) -> float:
+        return linear_cost(metrics, lambda_latency, lambda_energy, lambda_area)
+
+    return cost

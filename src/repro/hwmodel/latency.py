@@ -1,0 +1,68 @@
+"""Analytical latency model (the Timeloop-like half of the oracle).
+
+Latency of a layer is the maximum of its compute time and its memory time
+(the accelerator is double-buffered, so compute and data movement overlap),
+plus a per-pass pipeline overhead already folded into the mapping analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.dataflow import MappingResult, analyze_mapping
+from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
+from repro.hwmodel.workload import ConvLayerShape
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Cycle-level latency breakdown of a single layer."""
+
+    compute_cycles: float
+    buffer_cycles: float
+    dram_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        """Bottleneck cycles: compute and memory are overlapped."""
+        return max(self.compute_cycles, self.buffer_cycles, self.dram_cycles)
+
+
+class LatencyModel:
+    """Estimate per-layer and per-network execution latency."""
+
+    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+        self.technology = technology
+
+    def dram_traffic_words(self, layer: ConvLayerShape, mapping: MappingResult) -> float:
+        """Words exchanged with DRAM for one layer.
+
+        Compulsory traffic (each tensor crosses the DRAM boundary once) plus
+        re-fetch traffic whenever the layer's working set exceeds the global
+        buffer, in which case buffer-level re-fetches spill to DRAM.
+        """
+        compulsory = float(layer.total_data)
+        working_set = float(layer.total_data)
+        capacity = float(self.technology.buffer_capacity_words)
+        spill_fraction = min(1.0, max(0.0, (working_set - capacity) / working_set))
+        refetch_traffic = max(0.0, mapping.buffer_traffic_words - compulsory)
+        return compulsory + refetch_traffic * spill_fraction
+
+    def layer_breakdown(self, layer: ConvLayerShape, config: AcceleratorConfig) -> LatencyBreakdown:
+        """Return the compute / buffer / DRAM cycle breakdown for one layer."""
+        mapping = analyze_mapping(layer, config)
+        buffer_cycles = mapping.buffer_traffic_words / self.technology.buffer_bandwidth_words_per_cycle
+        dram_cycles = self.dram_traffic_words(layer, mapping) / self.technology.dram_bandwidth_words_per_cycle
+        return LatencyBreakdown(
+            compute_cycles=mapping.compute_cycles,
+            buffer_cycles=buffer_cycles,
+            dram_cycles=dram_cycles,
+        )
+
+    def layer_latency_ms(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
+        """Latency of one layer in milliseconds."""
+        breakdown = self.layer_breakdown(layer, config)
+        cycles = breakdown.total_cycles
+        nanoseconds = cycles / self.technology.clock_ghz
+        return nanoseconds * 1e-6

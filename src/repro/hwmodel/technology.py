@@ -1,0 +1,60 @@
+"""Technology parameters shared by the latency / energy / area models.
+
+These constants play the role of Accelergy's technology plug-ins: per-access
+energies, per-component areas, clock frequency and memory bandwidths.  The
+absolute values are representative of a 65 nm Eyeriss-class design and are
+calibrated so that CIFAR-scale networks land in the millisecond / millijoule
+/ tens-of-mm^2 regime the paper reports; the reproduction targets the shape
+of the results, not the authors' exact testbed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Process / circuit constants used by the analytical cost models."""
+
+    # Timing -----------------------------------------------------------
+    clock_ghz: float = 1.0
+    dram_bandwidth_words_per_cycle: float = 4.0
+    buffer_bandwidth_words_per_cycle: float = 16.0
+
+    # Energy (picojoules) ----------------------------------------------
+    mac_energy_pj: float = 0.8
+    rf_access_energy_pj: float = 0.45
+    rf_energy_per_word_pj: float = 0.012
+    buffer_access_energy_pj: float = 6.0
+    dram_access_energy_pj: float = 180.0
+    leakage_mw_per_mm2: float = 0.15
+
+    # Area (square millimetres) ----------------------------------------
+    pe_area_mm2: float = 0.012
+    rf_area_per_word_mm2: float = 0.00035
+    buffer_area_mm2: float = 1.6
+    noc_area_per_pe_mm2: float = 0.0015
+    io_area_mm2: float = 0.8
+
+    # Buffer capacity (words); determines when traffic spills to DRAM ---
+    buffer_capacity_words: int = 108 * 1024 // 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "clock_ghz",
+            "dram_bandwidth_words_per_cycle",
+            "buffer_bandwidth_words_per_cycle",
+            "mac_energy_pj",
+            "rf_access_energy_pj",
+            "buffer_access_energy_pj",
+            "dram_access_energy_pj",
+            "pe_area_mm2",
+            "rf_area_per_word_mm2",
+            "buffer_area_mm2",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+DEFAULT_TECHNOLOGY = TechnologyParameters()

@@ -1,0 +1,240 @@
+"""Convolutional workload descriptions (the seven loop dimensions).
+
+A convolution layer is described by the seven dimensions of Figure 1 of the
+paper: input activations (H, W, C), weights (R, S, K) and batch (N), plus a
+stride.  A :class:`NetworkWorkload` is an ordered list of such layers and is
+what the accelerator cost model evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ConvLayerShape:
+    """Shape of a single convolutional layer.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in per-layer reports).
+    n, c, h, w:
+        Batch size and input activation dimensions (channels, height, width).
+    k, r, s:
+        Number of output channels and filter spatial dimensions.
+    stride:
+        Convolution stride (same in both spatial dimensions).
+    groups:
+        Grouping factor; ``groups == c == k`` describes a depthwise layer.
+    """
+
+    name: str
+    n: int
+    c: int
+    h: int
+    w: int
+    k: int
+    r: int
+    s: int
+    stride: int = 1
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("n", "c", "h", "w", "k", "r", "s", "stride", "groups"):
+            value = getattr(self, attr)
+            if value <= 0:
+                raise ValueError(f"{attr} must be positive, got {value}")
+        if self.c % self.groups != 0 or self.k % self.groups != 0:
+            raise ValueError("channels must be divisible by groups")
+        if self.r > self.h + self.r - 1 or self.s > self.w + self.s - 1:
+            raise ValueError("filter cannot be larger than padded input")
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def out_h(self) -> int:
+        """Output height assuming 'same'-style padding of (r-1)/2."""
+        return (self.h + 2 * (self.r // 2) - self.r) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        """Output width assuming 'same'-style padding of (s-1)/2."""
+        return (self.w + 2 * (self.s // 2) - self.s) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulate operations."""
+        return (
+            self.n
+            * self.k
+            * (self.c // self.groups)
+            * self.out_h
+            * self.out_w
+            * self.r
+            * self.s
+        )
+
+    @property
+    def flops(self) -> int:
+        """FLOPs (two per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def input_size(self) -> int:
+        """Number of input activation elements."""
+        return self.n * self.c * self.h * self.w
+
+    @property
+    def weight_size(self) -> int:
+        """Number of weight elements."""
+        return self.k * (self.c // self.groups) * self.r * self.s
+
+    @property
+    def output_size(self) -> int:
+        """Number of output activation elements."""
+        return self.n * self.k * self.out_h * self.out_w
+
+    @property
+    def total_data(self) -> int:
+        """Total tensor footprint (inputs + weights + outputs)."""
+        return self.input_size + self.weight_size + self.output_size
+
+    def scaled(self, batch: int) -> "ConvLayerShape":
+        """Return a copy of this layer with a different batch size."""
+        return ConvLayerShape(
+            name=self.name,
+            n=batch,
+            c=self.c,
+            h=self.h,
+            w=self.w,
+            k=self.k,
+            r=self.r,
+            s=self.s,
+            stride=self.stride,
+            groups=self.groups,
+        )
+
+
+@dataclass
+class NetworkWorkload:
+    """An ordered collection of convolution layers forming one network."""
+
+    name: str
+    layers: List[ConvLayerShape] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.layers = list(self.layers)
+
+    def __iter__(self) -> Iterator[ConvLayerShape]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def add_layer(self, layer: ConvLayerShape) -> "NetworkWorkload":
+        """Append a layer and return self (for chaining)."""
+        self.layers.append(layer)
+        return self
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs across all layers."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        """Total FLOPs across all layers."""
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total number of weight parameters."""
+        return sum(layer.weight_size for layer in self.layers)
+
+    def scaled(self, batch: int) -> "NetworkWorkload":
+        """Return a workload with every layer's batch set to ``batch``."""
+        return NetworkWorkload(self.name, [layer.scaled(batch) for layer in self.layers])
+
+
+def mbconv_layers(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    feature_size: int,
+    kernel_size: int,
+    expansion: int,
+    stride: int = 1,
+    batch: int = 1,
+) -> List[ConvLayerShape]:
+    """Expand an MBConv block into its three constituent convolution layers.
+
+    The inverted-residual block of MobileNetV2 / ProxylessNAS is a pointwise
+    expansion, a depthwise ``kernel_size`` convolution, and a pointwise
+    projection.  The accelerator cost of a candidate operation is the sum of
+    the cost of these layers.
+    """
+    if expansion <= 0:
+        raise ValueError("expansion must be positive")
+    hidden = in_channels * expansion
+    out_feature = (feature_size + stride - 1) // stride
+    layers = [
+        ConvLayerShape(
+            name=f"{name}.expand",
+            n=batch,
+            c=in_channels,
+            h=feature_size,
+            w=feature_size,
+            k=hidden,
+            r=1,
+            s=1,
+        ),
+        ConvLayerShape(
+            name=f"{name}.depthwise",
+            n=batch,
+            c=hidden,
+            h=feature_size,
+            w=feature_size,
+            k=hidden,
+            r=kernel_size,
+            s=kernel_size,
+            stride=stride,
+            groups=hidden,
+        ),
+        ConvLayerShape(
+            name=f"{name}.project",
+            n=batch,
+            c=hidden,
+            h=out_feature,
+            w=out_feature,
+            k=out_channels,
+            r=1,
+            s=1,
+        ),
+    ]
+    return layers
+
+
+def conv_layer(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    feature_size: int,
+    kernel_size: int,
+    stride: int = 1,
+    batch: int = 1,
+) -> ConvLayerShape:
+    """Convenience constructor for a plain convolution layer."""
+    return ConvLayerShape(
+        name=name,
+        n=batch,
+        c=in_channels,
+        h=feature_size,
+        w=feature_size,
+        k=out_channels,
+        r=kernel_size,
+        s=kernel_size,
+        stride=stride,
+    )

@@ -1,0 +1,56 @@
+"""Differentiable neural architecture search substrate (ProxylessNAS-style).
+
+Provides the candidate-operation set, the 13-layer search space with nine
+searchable positions, trainable architecture parameters with Gumbel-softmax
+sampling, the over-parameterised supernet, FLOPs accounting and architecture
+derivation.
+"""
+
+from repro.nas.arch_params import ArchitectureParameters
+from repro.nas.derive import DerivedArchitecture, derive_architecture
+from repro.nas.flops import FlopsModel
+from repro.nas.operations import (
+    CANDIDATE_OPS,
+    NUM_CANDIDATE_OPS,
+    MBConvOp,
+    OpSpec,
+    SkipConnection,
+    ZeroOp,
+    build_op_module,
+    op_flops,
+    op_index,
+    op_workload_layers,
+)
+from repro.nas.search_space import (
+    FixedLayerConfig,
+    NASSearchSpace,
+    SearchableLayerConfig,
+    build_cifar_search_space,
+    build_imagenet_search_space,
+)
+from repro.nas.supernet import DerivedNetwork, MixedOp, SuperNet
+
+__all__ = [
+    "ArchitectureParameters",
+    "DerivedArchitecture",
+    "derive_architecture",
+    "FlopsModel",
+    "CANDIDATE_OPS",
+    "NUM_CANDIDATE_OPS",
+    "MBConvOp",
+    "OpSpec",
+    "SkipConnection",
+    "ZeroOp",
+    "build_op_module",
+    "op_flops",
+    "op_index",
+    "op_workload_layers",
+    "FixedLayerConfig",
+    "NASSearchSpace",
+    "SearchableLayerConfig",
+    "build_cifar_search_space",
+    "build_imagenet_search_space",
+    "DerivedNetwork",
+    "MixedOp",
+    "SuperNet",
+]

@@ -1,0 +1,111 @@
+"""Architecture parameters (alpha) and their relaxations.
+
+The differentiable search maintains one logit per (searchable position,
+candidate operation).  During supernet training the logits are relaxed with
+Gumbel-softmax and a single path is sampled per step (a binarised /
+straight-through scheme in the spirit of ProxylessNAS), so only one candidate
+per position is executed while gradients still reach the logits.
+
+The same logits, pushed through a plain softmax, form the *architecture
+encoding* that is fed to the evaluator network: the paper's Figure 3 shows
+the architecture parameters flowing from the search module into the
+hardware-cost evaluator, which is exactly what
+:meth:`ArchitectureParameters.encoding_tensor` provides (differentiably).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.functional import gumbel_softmax, softmax
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+from repro.nas.search_space import NASSearchSpace
+from repro.utils.seeding import as_rng
+
+
+class ArchitectureParameters(Module):
+    """Trainable logits over candidate operations for every searchable layer."""
+
+    def __init__(
+        self,
+        search_space: NASSearchSpace,
+        init_scale: float = 1e-3,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        self.search_space = search_space
+        generator = as_rng(rng)
+        shape = (search_space.num_searchable, search_space.num_ops)
+        self.alpha = Parameter(generator.normal(0.0, init_scale, size=shape), name="alpha")
+
+    # ------------------------------------------------------------------
+    # Views of the parameters
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Current per-position softmax probabilities (detached numpy view)."""
+        logits = self.alpha.data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def probabilities_tensor(self) -> Tensor:
+        """Differentiable per-position probabilities, shape (positions, ops)."""
+        return softmax(self.alpha, axis=-1)
+
+    def encoding_tensor(self) -> Tensor:
+        """Differentiable flat architecture encoding fed to the evaluator network."""
+        return self.probabilities_tensor().reshape(1, -1)
+
+    def encoding(self) -> np.ndarray:
+        """Detached flat encoding (for the oracle / reporting)."""
+        return self.probabilities().reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_gumbel(
+        self,
+        temperature: float = 1.0,
+        hard: bool = True,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> Tensor:
+        """Sample per-position (near) one-hot gates with the Gumbel-softmax trick.
+
+        Returns a tensor of shape ``(positions, ops)`` whose rows are one-hot
+        in the forward pass (when ``hard``) but carry gradients back into the
+        logits — the binarised path-sampling used during supernet training.
+        """
+        return gumbel_softmax(self.alpha, temperature=temperature, hard=hard, rng=rng)
+
+    def sample_indices(self, rng: Optional[Union[int, np.random.Generator]] = None) -> np.ndarray:
+        """Sample discrete per-position operation indices from the current softmax."""
+        generator = as_rng(rng)
+        probabilities = self.probabilities()
+        indices = np.empty(self.search_space.num_searchable, dtype=np.int64)
+        for position in range(self.search_space.num_searchable):
+            indices[position] = generator.choice(self.search_space.num_ops, p=probabilities[position])
+        return indices
+
+    # ------------------------------------------------------------------
+    # Derivation / diagnostics
+    # ------------------------------------------------------------------
+    def derive(self) -> np.ndarray:
+        """Most-likely discrete architecture (argmax per position)."""
+        return self.probabilities().argmax(axis=1)
+
+    def entropy(self) -> float:
+        """Mean per-position entropy of the choice distribution (in nats)."""
+        probabilities = self.probabilities()
+        safe = np.clip(probabilities, 1e-12, 1.0)
+        per_position = -(safe * np.log(safe)).sum(axis=1)
+        return float(per_position.mean())
+
+    def set_architecture(self, op_indices: np.ndarray, confidence: float = 6.0) -> None:
+        """Force the logits towards a given discrete architecture (used in tests)."""
+        indices = self.search_space.validate_indices(op_indices)
+        logits = np.zeros_like(self.alpha.data)
+        logits[np.arange(indices.shape[0]), indices] = confidence
+        self.alpha.data[...] = logits

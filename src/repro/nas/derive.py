@@ -1,0 +1,56 @@
+"""Deriving the final architecture from trained architecture parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hwmodel.workload import NetworkWorkload
+from repro.nas.arch_params import ArchitectureParameters
+from repro.nas.search_space import NASSearchSpace
+
+
+@dataclass(frozen=True)
+class DerivedArchitecture:
+    """A discrete architecture derived from the search, plus handy views."""
+
+    op_indices: np.ndarray
+    op_names: List[str]
+    workload: NetworkWorkload
+    flops: int
+    num_active_layers: int
+
+    def __str__(self) -> str:
+        ops = ", ".join(self.op_names)
+        return f"DerivedArchitecture([{ops}], flops={self.flops / 1e6:.1f}M)"
+
+
+def derive_architecture(
+    search_space: NASSearchSpace, arch_params_or_indices
+) -> DerivedArchitecture:
+    """Derive the most-likely discrete architecture and its hardware workload.
+
+    Parameters
+    ----------
+    search_space:
+        The architecture space the parameters live in.
+    arch_params_or_indices:
+        Either an :class:`ArchitectureParameters` instance (argmax per
+        position is taken) or an explicit sequence of operation indices.
+    """
+    if isinstance(arch_params_or_indices, ArchitectureParameters):
+        op_indices = arch_params_or_indices.derive()
+    else:
+        op_indices = search_space.validate_indices(arch_params_or_indices)
+    op_names = [search_space.candidate_ops[int(i)].name for i in op_indices]
+    workload = search_space.build_workload(op_indices)
+    num_active = sum(1 for i in op_indices if not search_space.candidate_ops[int(i)].is_zero)
+    return DerivedArchitecture(
+        op_indices=np.asarray(op_indices, dtype=np.int64),
+        op_names=op_names,
+        workload=workload,
+        flops=workload.total_flops,
+        num_active_layers=num_active,
+    )

@@ -1,0 +1,66 @@
+"""FLOPs accounting for architectures and the FLOPs-penalty baseline.
+
+ProxylessNAS-style baselines regularise the search with an *expected FLOPs*
+penalty: the sum over positions of the probability-weighted FLOPs of each
+candidate.  Because the per-candidate FLOPs are constants, the expected
+FLOPs is a linear (hence differentiable) function of the architecture
+probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nas.operations import op_flops
+from repro.nas.search_space import NASSearchSpace
+
+
+class FlopsModel:
+    """Precomputed per-candidate FLOPs table for a search space."""
+
+    def __init__(self, search_space: NASSearchSpace) -> None:
+        self.search_space = search_space
+        table = np.zeros((search_space.num_searchable, search_space.num_ops), dtype=np.float64)
+        for position, layer_cfg in enumerate(search_space.searchable_layers):
+            for op_idx, op in enumerate(search_space.candidate_ops):
+                table[position, op_idx] = op_flops(
+                    op,
+                    in_channels=layer_cfg.nominal_in_channels,
+                    out_channels=layer_cfg.nominal_out_channels,
+                    feature_size=layer_cfg.nominal_feature_size,
+                    stride=layer_cfg.stride,
+                )
+        self.table = table
+        self.fixed_flops = float(sum(layer.flops for layer in search_space.fixed_workload_layers()))
+
+    @property
+    def max_flops(self) -> float:
+        """FLOPs of the heaviest possible architecture (used for normalisation)."""
+        return self.fixed_flops + float(self.table.max(axis=1).sum())
+
+    def architecture_flops(self, op_indices: np.ndarray) -> float:
+        """FLOPs of a discrete architecture."""
+        indices = self.search_space.validate_indices(op_indices)
+        return self.fixed_flops + float(self.table[np.arange(indices.shape[0]), indices].sum())
+
+    def expected_flops(self, probabilities: Tensor) -> Tensor:
+        """Differentiable expected FLOPs under architecture ``probabilities``.
+
+        Parameters
+        ----------
+        probabilities:
+            Tensor of shape ``(positions, ops)`` (rows sum to one).
+        """
+        if probabilities.shape != self.table.shape:
+            raise ValueError(
+                f"probabilities must have shape {self.table.shape}, got {probabilities.shape}"
+            )
+        weighted = probabilities * Tensor(self.table)
+        return weighted.sum() + self.fixed_flops
+
+    def normalized_expected_flops(self, probabilities: Tensor) -> Tensor:
+        """Expected FLOPs divided by the maximum FLOPs (unitless, in (0, 1])."""
+        return self.expected_flops(probabilities) * (1.0 / self.max_flops)

@@ -1,0 +1,219 @@
+"""Candidate operations of the ProxylessNAS-style search space.
+
+Each searchable layer chooses among seven candidates (Section 4.1):
+MBConv with kernel size 3/5/7 and expansion ratio 3/6, plus ``Zero``.  A skip
+connection is always present in parallel, so choosing ``Zero`` makes the
+layer disappear from the network.
+
+Every candidate has two faces:
+
+* a *trainable module* (built at reduced width/resolution so the supernet can
+  be trained on a CPU), and
+* a *workload description* (built at the nominal full-size dimensions) used
+  by the hardware cost model — hardware cost must reflect the real network,
+  not the scaled-down trainable proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.conv import BatchNorm2d, Conv2d, AvgPool2d
+from repro.autograd.layers import Identity, ReLU, Sequential
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.hwmodel.workload import ConvLayerShape, mbconv_layers
+from repro.utils.seeding import as_rng
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Description of one candidate operation."""
+
+    name: str
+    kernel_size: int
+    expansion: int
+    is_zero: bool = False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The seven candidate operations of the paper, in a fixed canonical order.
+CANDIDATE_OPS: Tuple[OpSpec, ...] = (
+    OpSpec("mbconv3_e3", kernel_size=3, expansion=3),
+    OpSpec("mbconv3_e6", kernel_size=3, expansion=6),
+    OpSpec("mbconv5_e3", kernel_size=5, expansion=3),
+    OpSpec("mbconv5_e6", kernel_size=5, expansion=6),
+    OpSpec("mbconv7_e3", kernel_size=7, expansion=3),
+    OpSpec("mbconv7_e6", kernel_size=7, expansion=6),
+    OpSpec("zero", kernel_size=0, expansion=0, is_zero=True),
+)
+
+NUM_CANDIDATE_OPS = len(CANDIDATE_OPS)
+
+
+def op_index(name: str) -> int:
+    """Return the canonical index of the operation called ``name``."""
+    for index, op in enumerate(CANDIDATE_OPS):
+        if op.name == name:
+            return index
+    raise KeyError(f"unknown operation {name!r}")
+
+
+class ZeroOp(Module):
+    """The Zero operation: outputs zeros (the skip connection carries the signal)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        n, _, h, w = x.shape
+        out_h = (h + self.stride - 1) // self.stride
+        out_w = (w + self.stride - 1) // self.stride
+        return Tensor(np.zeros((n, self.out_channels, out_h, out_w)))
+
+
+class MBConvOp(Module):
+    """Inverted-residual (MobileNetV2) block: expand -> depthwise -> project."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        expansion: int,
+        stride: int = 1,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        hidden = max(in_channels * expansion, 1)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.use_residual = stride == 1 and in_channels == out_channels
+        padding = kernel_size // 2
+        self.expand = Sequential(
+            Conv2d(in_channels, hidden, 1, bias=False, rng=generator),
+            BatchNorm2d(hidden),
+            ReLU(),
+        )
+        self.depthwise = Sequential(
+            Conv2d(
+                hidden,
+                hidden,
+                kernel_size,
+                stride=stride,
+                padding=padding,
+                groups=hidden,
+                bias=False,
+                rng=generator,
+            ),
+            BatchNorm2d(hidden),
+            ReLU(),
+        )
+        self.project = Sequential(
+            Conv2d(hidden, out_channels, 1, bias=False, rng=generator),
+            BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        out = self.project(self.depthwise(self.expand(x)))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class SkipConnection(Module):
+    """The always-present skip path: identity, or a strided 1x1 projection."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        if stride == 1 and in_channels == out_channels:
+            self.path: Module = Identity()
+            self.is_identity = True
+        else:
+            self.path = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+            self.is_identity = False
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        return self.path(x)
+
+
+def build_op_module(
+    op: OpSpec,
+    in_channels: int,
+    out_channels: int,
+    stride: int = 1,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> Module:
+    """Instantiate the trainable module for candidate ``op``."""
+    if op.is_zero:
+        return ZeroOp(in_channels, out_channels, stride)
+    return MBConvOp(
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_size=op.kernel_size,
+        expansion=op.expansion,
+        stride=stride,
+        rng=rng,
+    )
+
+
+def op_workload_layers(
+    op: OpSpec,
+    layer_name: str,
+    in_channels: int,
+    out_channels: int,
+    feature_size: int,
+    stride: int = 1,
+    batch: int = 1,
+) -> List[ConvLayerShape]:
+    """Return the convolution layers ``op`` contributes to the hardware workload.
+
+    ``Zero`` contributes nothing (the layer disappears), any MBConv candidate
+    contributes its expansion / depthwise / projection triplet at the nominal
+    full-size dimensions.
+    """
+    if op.is_zero:
+        return []
+    return mbconv_layers(
+        name=layer_name,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        feature_size=feature_size,
+        kernel_size=op.kernel_size,
+        expansion=op.expansion,
+        stride=stride,
+        batch=batch,
+    )
+
+
+def op_flops(
+    op: OpSpec,
+    in_channels: int,
+    out_channels: int,
+    feature_size: int,
+    stride: int = 1,
+) -> int:
+    """FLOPs of candidate ``op`` at the nominal dimensions (for the FLOPs penalty)."""
+    layers = op_workload_layers(op, "flops_probe", in_channels, out_channels, feature_size, stride)
+    return sum(layer.flops for layer in layers)

@@ -1,0 +1,320 @@
+"""The network architecture search space A (ProxylessNAS-style).
+
+The space is a stack of 13 layers: a fixed stem, nine searchable MBConv
+positions whose channel count increases every three layers, a fixed head
+convolution and the classifier.  Each searchable position picks one of the
+seven :data:`~repro.nas.operations.CANDIDATE_OPS`.
+
+A :class:`NASSearchSpace` instance carries **two parallel geometries**:
+
+* ``nominal_*`` dimensions — the real network (e.g. CIFAR-10 at 32x32 with
+  32..96 channels).  Hardware cost, FLOPs and the evaluator-network encoding
+  are always computed at these dimensions.
+* ``trainable_*`` dimensions — a reduced-width / reduced-resolution version
+  used to actually train the supernet on a CPU within this reproduction.
+
+An architecture is represented either as a vector of per-position operation
+indices (``np.ndarray`` of shape ``(num_searchable,)``) or as a matrix of
+per-position operation probabilities (shape ``(num_searchable, num_ops)``),
+the latter being what the differentiable search manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload, conv_layer
+from repro.nas.operations import CANDIDATE_OPS, NUM_CANDIDATE_OPS, OpSpec, op_workload_layers
+from repro.utils.seeding import as_rng
+
+
+@dataclass(frozen=True)
+class SearchableLayerConfig:
+    """Static configuration of one searchable position in the stack."""
+
+    index: int
+    nominal_in_channels: int
+    nominal_out_channels: int
+    nominal_feature_size: int
+    trainable_in_channels: int
+    trainable_out_channels: int
+    trainable_feature_size: int
+    stride: int = 1
+
+
+@dataclass(frozen=True)
+class FixedLayerConfig:
+    """Static configuration of a fixed (non-searchable) convolution layer."""
+
+    name: str
+    nominal_in_channels: int
+    nominal_out_channels: int
+    nominal_feature_size: int
+    trainable_in_channels: int
+    trainable_out_channels: int
+    trainable_feature_size: int
+    kernel_size: int = 3
+    stride: int = 1
+
+
+@dataclass
+class NASSearchSpace:
+    """The architecture space A: fixed stem/head plus searchable middle layers."""
+
+    name: str
+    stem: FixedLayerConfig
+    searchable_layers: List[SearchableLayerConfig]
+    head: FixedLayerConfig
+    num_classes: int
+    candidate_ops: Tuple[OpSpec, ...] = CANDIDATE_OPS
+    batch_size_for_cost: int = 1
+
+    # ------------------------------------------------------------------
+    # Basic shape facts
+    # ------------------------------------------------------------------
+    @property
+    def num_searchable(self) -> int:
+        """Number of searchable positions (9 in the paper's space)."""
+        return len(self.searchable_layers)
+
+    @property
+    def num_ops(self) -> int:
+        """Number of candidate operations per searchable position."""
+        return len(self.candidate_ops)
+
+    @property
+    def encoding_width(self) -> int:
+        """Width of the flattened architecture-probability encoding."""
+        return self.num_searchable * self.num_ops
+
+    @property
+    def total_layers(self) -> int:
+        """Total depth including stem, searchable positions, head and classifier."""
+        return self.num_searchable + 4
+
+    # ------------------------------------------------------------------
+    # Architecture representations
+    # ------------------------------------------------------------------
+    def validate_indices(self, op_indices: Sequence[int]) -> np.ndarray:
+        """Check and normalise a vector of per-position operation indices."""
+        indices = np.asarray(op_indices, dtype=np.int64).reshape(-1)
+        if indices.shape[0] != self.num_searchable:
+            raise ValueError(
+                f"expected {self.num_searchable} operation indices, got {indices.shape[0]}"
+            )
+        if np.any(indices < 0) or np.any(indices >= self.num_ops):
+            raise ValueError("operation index out of range")
+        return indices
+
+    def encode_indices(self, op_indices: Sequence[int]) -> np.ndarray:
+        """One-hot encode a discrete architecture as a flat vector."""
+        indices = self.validate_indices(op_indices)
+        encoding = np.zeros((self.num_searchable, self.num_ops), dtype=np.float64)
+        encoding[np.arange(self.num_searchable), indices] = 1.0
+        return encoding.reshape(-1)
+
+    def encode_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Flatten (and validate) a probability matrix into the encoding vector."""
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if probabilities.shape != (self.num_searchable, self.num_ops):
+            raise ValueError(
+                f"expected probabilities of shape {(self.num_searchable, self.num_ops)}, "
+                f"got {probabilities.shape}"
+            )
+        if np.any(probabilities < -1e-9):
+            raise ValueError("probabilities must be non-negative")
+        return probabilities.reshape(-1)
+
+    def decode_encoding(self, encoding: np.ndarray) -> np.ndarray:
+        """Recover per-position argmax indices from a (possibly soft) encoding."""
+        encoding = np.asarray(encoding, dtype=np.float64).reshape(self.num_searchable, self.num_ops)
+        return encoding.argmax(axis=1)
+
+    def random_architecture(
+        self, rng: Optional[Union[int, np.random.Generator]] = None, allow_zero: bool = True
+    ) -> np.ndarray:
+        """Sample a uniformly random discrete architecture (op indices)."""
+        generator = as_rng(rng)
+        high = self.num_ops if allow_zero else self.num_ops - 1
+        return generator.integers(0, high, size=self.num_searchable)
+
+    # ------------------------------------------------------------------
+    # Hardware workload construction (nominal dimensions)
+    # ------------------------------------------------------------------
+    def fixed_workload_layers(self) -> List[ConvLayerShape]:
+        """Workload contribution of the stem and head (always present)."""
+        stem_layer = ConvLayerShape(
+            name=f"{self.name}.stem",
+            n=self.batch_size_for_cost,
+            c=self.stem.nominal_in_channels,
+            h=self.stem.nominal_feature_size,
+            w=self.stem.nominal_feature_size,
+            k=self.stem.nominal_out_channels,
+            r=self.stem.kernel_size,
+            s=self.stem.kernel_size,
+            stride=self.stem.stride,
+        )
+        head_layer = ConvLayerShape(
+            name=f"{self.name}.head",
+            n=self.batch_size_for_cost,
+            c=self.head.nominal_in_channels,
+            h=self.head.nominal_feature_size,
+            w=self.head.nominal_feature_size,
+            k=self.head.nominal_out_channels,
+            r=self.head.kernel_size,
+            s=self.head.kernel_size,
+            stride=self.head.stride,
+        )
+        return [stem_layer, head_layer]
+
+    def op_layers(self, position: int, op: Union[int, OpSpec]) -> List[ConvLayerShape]:
+        """Workload contribution of choosing ``op`` at searchable ``position``."""
+        if isinstance(op, (int, np.integer)):
+            op = self.candidate_ops[int(op)]
+        layer_cfg = self.searchable_layers[position]
+        return op_workload_layers(
+            op,
+            layer_name=f"{self.name}.layer{position}.{op.name}",
+            in_channels=layer_cfg.nominal_in_channels,
+            out_channels=layer_cfg.nominal_out_channels,
+            feature_size=layer_cfg.nominal_feature_size,
+            stride=layer_cfg.stride,
+            batch=self.batch_size_for_cost,
+        )
+
+    def build_workload(self, op_indices: Sequence[int]) -> NetworkWorkload:
+        """Assemble the full hardware workload of a discrete architecture."""
+        indices = self.validate_indices(op_indices)
+        layers: List[ConvLayerShape] = [self.fixed_workload_layers()[0]]
+        for position, op_idx in enumerate(indices):
+            layers.extend(self.op_layers(position, int(op_idx)))
+        layers.append(self.fixed_workload_layers()[1])
+        return NetworkWorkload(name=f"{self.name}.arch", layers=layers)
+
+    def architecture_flops(self, op_indices: Sequence[int]) -> int:
+        """FLOPs of a discrete architecture at the nominal dimensions."""
+        return self.build_workload(op_indices).total_flops
+
+
+def _channel_schedule(base_channels: int, num_stages: int, multiplier: float = 1.5) -> List[int]:
+    """Channel counts that grow every stage, rounded to multiples of 4."""
+    channels = []
+    current = float(base_channels)
+    for _ in range(num_stages):
+        channels.append(int(round(current / 4) * 4))
+        current *= multiplier
+    return channels
+
+
+def build_cifar_search_space(
+    num_classes: int = 10,
+    nominal_resolution: int = 32,
+    nominal_base_channels: int = 32,
+    trainable_resolution: int = 8,
+    trainable_base_channels: int = 8,
+    num_searchable: int = 9,
+    name: str = "proxyless_cifar",
+) -> NASSearchSpace:
+    """Build the CIFAR-10 search space used in Table 2.
+
+    Nine searchable layers arranged in three stages; channel count rises at
+    each stage boundary and the first layer of each stage (after the first)
+    downsamples with stride 2.
+    """
+    if num_searchable % 3 != 0:
+        raise ValueError("num_searchable must be a multiple of 3 (three stages)")
+    stages = num_searchable // 3
+    nominal_channels = _channel_schedule(nominal_base_channels, stages + 1)
+    trainable_channels = _channel_schedule(trainable_base_channels, stages + 1)
+
+    stem = FixedLayerConfig(
+        name="stem",
+        nominal_in_channels=3,
+        nominal_out_channels=nominal_channels[0],
+        nominal_feature_size=nominal_resolution,
+        trainable_in_channels=3,
+        trainable_out_channels=trainable_channels[0],
+        trainable_feature_size=trainable_resolution,
+        kernel_size=3,
+        stride=1,
+    )
+
+    searchable: List[SearchableLayerConfig] = []
+    nominal_feature = nominal_resolution
+    trainable_feature = trainable_resolution
+    in_nominal = nominal_channels[0]
+    in_trainable = trainable_channels[0]
+    for position in range(num_searchable):
+        stage = position // 3
+        is_stage_start = position % 3 == 0 and position > 0
+        stride = 2 if is_stage_start else 1
+        out_nominal = nominal_channels[stage]
+        out_trainable = trainable_channels[stage]
+        searchable.append(
+            SearchableLayerConfig(
+                index=position,
+                nominal_in_channels=in_nominal,
+                nominal_out_channels=out_nominal,
+                nominal_feature_size=nominal_feature,
+                trainable_in_channels=in_trainable,
+                trainable_out_channels=out_trainable,
+                trainable_feature_size=trainable_feature,
+                stride=stride,
+            )
+        )
+        if stride == 2:
+            nominal_feature = (nominal_feature + 1) // 2
+            trainable_feature = (trainable_feature + 1) // 2
+        in_nominal = out_nominal
+        in_trainable = out_trainable
+
+    head = FixedLayerConfig(
+        name="head",
+        nominal_in_channels=in_nominal,
+        nominal_out_channels=nominal_channels[-1],
+        nominal_feature_size=nominal_feature,
+        trainable_in_channels=in_trainable,
+        trainable_out_channels=trainable_channels[-1],
+        trainable_feature_size=trainable_feature,
+        kernel_size=1,
+        stride=1,
+    )
+
+    return NASSearchSpace(
+        name=name,
+        stem=stem,
+        searchable_layers=searchable,
+        head=head,
+        num_classes=num_classes,
+    )
+
+
+def build_imagenet_search_space(
+    num_classes: int = 100,
+    nominal_resolution: int = 224,
+    nominal_base_channels: int = 32,
+    trainable_resolution: int = 8,
+    trainable_base_channels: int = 8,
+    num_searchable: int = 9,
+    name: str = "proxyless_imagenet",
+) -> NASSearchSpace:
+    """Build the ImageNet-scale search space used in Table 4.
+
+    Identical topology to the CIFAR space but with ImageNet input resolution
+    (which the stem immediately downsamples by 4x, as mobile networks do) and
+    a larger channel schedule, so the hardware costs land in the regime Table
+    4 reports (roughly 3-10x the CIFAR costs).
+    """
+    space = build_cifar_search_space(
+        num_classes=num_classes,
+        nominal_resolution=nominal_resolution // 4,
+        nominal_base_channels=nominal_base_channels * 2,
+        trainable_resolution=trainable_resolution,
+        trainable_base_channels=trainable_base_channels,
+        num_searchable=num_searchable,
+        name=name,
+    )
+    return space

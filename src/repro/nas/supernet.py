@@ -1,0 +1,259 @@
+"""The trainable over-parameterised supernet.
+
+Every searchable position holds all candidate operations in parallel (a
+:class:`MixedOp`), plus the always-present skip connection.  During search a
+(near) one-hot gate vector per position — produced by
+:class:`~repro.nas.arch_params.ArchitectureParameters` — selects which
+candidate's output reaches the next layer; because the gate participates in
+the forward computation, gradients flow back into the architecture logits.
+
+The supernet is built at the search space's *trainable* dimensions (reduced
+width and resolution) so CPU training is feasible; the hardware cost is
+always computed at the nominal dimensions elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.conv import BatchNorm2d, Conv2d, GlobalAvgPool2d
+from repro.autograd.layers import Linear, ReLU, Sequential
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nas.operations import build_op_module
+from repro.nas.search_space import NASSearchSpace, SearchableLayerConfig
+from repro.utils.seeding import as_rng
+from repro.nas.operations import SkipConnection
+
+
+class MixedOp(Module):
+    """All candidate operations of one searchable position, gated by weights."""
+
+    def __init__(
+        self,
+        layer_cfg: SearchableLayerConfig,
+        search_space: NASSearchSpace,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        self.layer_cfg = layer_cfg
+        self.num_ops = search_space.num_ops
+        self.candidates = Sequential(
+            *[
+                build_op_module(
+                    op,
+                    in_channels=layer_cfg.trainable_in_channels,
+                    out_channels=layer_cfg.trainable_out_channels,
+                    stride=layer_cfg.stride,
+                    rng=generator,
+                )
+                for op in search_space.candidate_ops
+            ]
+        )
+        self.skip = SkipConnection(
+            layer_cfg.trainable_in_channels,
+            layer_cfg.trainable_out_channels,
+            stride=layer_cfg.stride,
+            rng=generator,
+        )
+
+    def forward(self, x: Tensor, gates: Tensor) -> Tensor:  # noqa: D102
+        """Apply the gated mixture of candidates plus the skip path.
+
+        Parameters
+        ----------
+        x:
+            Input activations (NCHW).
+        gates:
+            1-D tensor of length ``num_ops``.  With a hard Gumbel sample it is
+            one-hot, so only one candidate contributes in the forward pass;
+            candidates whose gate is exactly zero are skipped entirely to
+            save compute, but the gate multiplication keeps the architecture
+            logits on the gradient path.
+        """
+        x = as_tensor(x)
+        output: Optional[Tensor] = None
+        gate_values = gates.data.reshape(-1)
+        for op_index in range(self.num_ops):
+            if gate_values[op_index] == 0.0 and not gates.requires_grad:
+                continue
+            if gate_values[op_index] == 0.0:
+                # Hard one-hot sample: skip unused candidates (their gradient
+                # contribution is zero anyway because the gate multiplies the output).
+                continue
+            candidate_out = self.candidates[op_index](x)
+            gated = candidate_out * gates[op_index]
+            output = gated if output is None else output + gated
+        skip_out = self.skip(x)
+        if output is None:
+            return skip_out
+        return output + skip_out
+
+
+class SuperNet(Module):
+    """Stem + gated searchable positions + head + classifier."""
+
+    def __init__(
+        self,
+        search_space: NASSearchSpace,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        self.search_space = search_space
+        stem_cfg = search_space.stem
+        self.stem = Sequential(
+            Conv2d(
+                stem_cfg.trainable_in_channels,
+                stem_cfg.trainable_out_channels,
+                stem_cfg.kernel_size,
+                stride=stem_cfg.stride,
+                padding=stem_cfg.kernel_size // 2,
+                bias=False,
+                rng=generator,
+            ),
+            BatchNorm2d(stem_cfg.trainable_out_channels),
+            ReLU(),
+        )
+        self.mixed_ops = Sequential(
+            *[MixedOp(layer_cfg, search_space, rng=generator) for layer_cfg in search_space.searchable_layers]
+        )
+        head_cfg = search_space.head
+        self.head = Sequential(
+            Conv2d(
+                head_cfg.trainable_in_channels,
+                head_cfg.trainable_out_channels,
+                head_cfg.kernel_size,
+                stride=head_cfg.stride,
+                padding=head_cfg.kernel_size // 2,
+                bias=False,
+                rng=generator,
+            ),
+            BatchNorm2d(head_cfg.trainable_out_channels),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(head_cfg.trainable_out_channels, search_space.num_classes, rng=generator)
+
+    def forward(self, x: Tensor, gates: Tensor) -> Tensor:  # noqa: D102
+        """Run the supernet under per-position gate vectors of shape (positions, ops)."""
+        x = as_tensor(x)
+        if gates.shape != (self.search_space.num_searchable, self.search_space.num_ops):
+            raise ValueError(
+                f"gates must have shape {(self.search_space.num_searchable, self.search_space.num_ops)}, "
+                f"got {gates.shape}"
+            )
+        out = self.stem(x)
+        for position in range(self.search_space.num_searchable):
+            out = self.mixed_ops[position](out, gates[position])
+        out = self.head(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def forward_discrete(self, x: Tensor, op_indices: Sequence[int]) -> Tensor:
+        """Run only the chosen candidates (inference of a derived architecture)."""
+        indices = self.search_space.validate_indices(op_indices)
+        gates = np.zeros((self.search_space.num_searchable, self.search_space.num_ops))
+        gates[np.arange(indices.shape[0]), indices] = 1.0
+        return self.forward(x, Tensor(gates))
+
+    def weight_parameters(self) -> List:
+        """All supernet weights (the parameters updated by the weight optimiser)."""
+        return self.parameters()
+
+
+class DerivedNetwork(Module):
+    """A stand-alone network instantiated from a discrete architecture choice.
+
+    After the search, the paper retrains the derived architecture from
+    scratch; this class is that final network (at trainable dimensions).
+    """
+
+    def __init__(
+        self,
+        search_space: NASSearchSpace,
+        op_indices: Sequence[int],
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> None:
+        super().__init__()
+        generator = as_rng(rng)
+        self.search_space = search_space
+        self.op_indices = search_space.validate_indices(op_indices)
+        stem_cfg = search_space.stem
+        self.stem = Sequential(
+            Conv2d(
+                stem_cfg.trainable_in_channels,
+                stem_cfg.trainable_out_channels,
+                stem_cfg.kernel_size,
+                stride=stem_cfg.stride,
+                padding=stem_cfg.kernel_size // 2,
+                bias=False,
+                rng=generator,
+            ),
+            BatchNorm2d(stem_cfg.trainable_out_channels),
+            ReLU(),
+        )
+        blocks: List[Module] = []
+        for position, layer_cfg in enumerate(search_space.searchable_layers):
+            op = search_space.candidate_ops[int(self.op_indices[position])]
+            blocks.append(
+                _DerivedBlock(
+                    op_module=build_op_module(
+                        op,
+                        in_channels=layer_cfg.trainable_in_channels,
+                        out_channels=layer_cfg.trainable_out_channels,
+                        stride=layer_cfg.stride,
+                        rng=generator,
+                    ),
+                    skip=SkipConnection(
+                        layer_cfg.trainable_in_channels,
+                        layer_cfg.trainable_out_channels,
+                        stride=layer_cfg.stride,
+                        rng=generator,
+                    ),
+                    is_zero=op.is_zero,
+                )
+            )
+        self.blocks = Sequential(*blocks)
+        head_cfg = search_space.head
+        self.head = Sequential(
+            Conv2d(
+                head_cfg.trainable_in_channels,
+                head_cfg.trainable_out_channels,
+                head_cfg.kernel_size,
+                stride=head_cfg.stride,
+                padding=head_cfg.kernel_size // 2,
+                bias=False,
+                rng=generator,
+            ),
+            BatchNorm2d(head_cfg.trainable_out_channels),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(head_cfg.trainable_out_channels, search_space.num_classes, rng=generator)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        out = self.stem(as_tensor(x))
+        for block in self.blocks:
+            out = block(out)
+        out = self.head(out)
+        return self.classifier(self.pool(out))
+
+
+class _DerivedBlock(Module):
+    """One position of a derived network: chosen op (or nothing) plus skip."""
+
+    def __init__(self, op_module: Module, skip: SkipConnection, is_zero: bool) -> None:
+        super().__init__()
+        self.op_module = op_module
+        self.skip = skip
+        self.is_zero = is_zero
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        skip_out = self.skip(x)
+        if self.is_zero:
+            return skip_out
+        return self.op_module(x) + skip_out

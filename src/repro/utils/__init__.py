@@ -1,0 +1,13 @@
+"""Small shared utilities: seeding, logging, serialization helpers."""
+
+from repro.utils.seeding import global_rng, seed_everything
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "global_rng",
+    "seed_everything",
+    "get_logger",
+    "load_json",
+    "save_json",
+]

@@ -1,0 +1,36 @@
+"""Lightweight logging configuration shared across the package."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(logging.INFO)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Dotted suffix, e.g. ``"core.co_explore"``.
+    """
+    _configure_root()
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

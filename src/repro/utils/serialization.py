@@ -1,0 +1,42 @@
+"""JSON (de)serialisation helpers that understand numpy scalars and arrays."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+
+class _NumpyEncoder(json.JSONEncoder):
+    """JSON encoder that converts numpy and dataclass values to plain Python."""
+
+    def default(self, o: Any) -> Any:  # noqa: D102 - documented by json.JSONEncoder
+        if isinstance(o, np.integer):
+            return int(o)
+        if isinstance(o, np.floating):
+            return float(o)
+        if isinstance(o, np.bool_):
+            return bool(o)
+        if isinstance(o, np.ndarray):
+            return o.tolist()
+        if dataclasses.is_dataclass(o) and not isinstance(o, type):
+            return dataclasses.asdict(o)
+        return super().default(o)
+
+
+def save_json(obj: Any, path: Union[str, Path]) -> Path:
+    """Serialise ``obj`` to ``path`` as pretty-printed JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(obj, handle, indent=2, cls=_NumpyEncoder)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> Any:
+    """Load JSON from ``path``."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,167 @@
+"""Tests for activations, probabilistic relaxations and loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.autograd.functional import (
+    accuracy,
+    cross_entropy,
+    gumbel_softmax,
+    log_softmax,
+    mse_loss,
+    msre_loss,
+    one_hot,
+    softmax,
+)
+
+logit_arrays = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 5), st.integers(2, 6)),
+    elements=st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False, width=64),
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 7)))
+        probs = softmax(logits).data
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(Tensor(logits)).data, softmax(Tensor(logits + 100.0)).data)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor(np.random.default_rng(1).normal(size=(3, 5)))
+        assert np.allclose(log_softmax(logits).data, np.log(softmax(logits).data), atol=1e-10)
+
+    def test_numerical_stability_with_large_logits(self):
+        logits = Tensor(np.array([[1e4, 0.0, -1e4]]))
+        probs = softmax(logits).data
+        assert np.all(np.isfinite(probs))
+        assert np.isclose(probs.sum(), 1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(logit_arrays)
+    def test_property_rows_are_distributions(self, logits):
+        probs = softmax(Tensor(logits)).data
+        assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+        assert np.all(probs >= 0)
+
+
+class TestGumbelSoftmax:
+    def test_soft_sample_is_distribution(self):
+        logits = Tensor(np.zeros((3, 5)))
+        sample = gumbel_softmax(logits, temperature=0.7, hard=False, rng=0)
+        assert np.allclose(sample.data.sum(axis=-1), 1.0)
+
+    def test_hard_sample_is_one_hot(self):
+        logits = Tensor(np.zeros((4, 6)))
+        sample = gumbel_softmax(logits, temperature=0.7, hard=True, rng=0)
+        assert np.allclose(sample.data.sum(axis=-1), 1.0)
+        assert set(np.unique(sample.data)).issubset({0.0, 1.0})
+
+    def test_hard_sample_keeps_gradient_path(self):
+        logits = Tensor(np.zeros((2, 4)), requires_grad=True)
+        sample = gumbel_softmax(logits, temperature=1.0, hard=True, rng=1)
+        (sample * Tensor(np.arange(8, dtype=float).reshape(2, 4))).sum().backward()
+        assert logits.grad is not None
+        assert np.any(logits.grad != 0.0)
+
+    def test_low_temperature_concentrates_on_argmax(self):
+        logits = Tensor(np.array([[5.0, 0.0, -5.0]]))
+        counts = np.zeros(3)
+        for seed in range(50):
+            sample = gumbel_softmax(logits, temperature=0.1, hard=True, rng=seed)
+            counts += sample.data.reshape(-1)
+        assert counts[0] > 40
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            gumbel_softmax(Tensor(np.zeros((1, 3))), temperature=0.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_uniform_prediction_equals_log_k(self):
+        num_classes = 5
+        logits = Tensor(np.zeros((3, num_classes)))
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert np.isclose(loss.item(), np.log(num_classes), atol=1e-6)
+
+    def test_label_smoothing_increases_loss_of_confident_prediction(self):
+        logits = Tensor(np.array([[20.0, -20.0]]))
+        plain = cross_entropy(logits, np.array([0])).item()
+        smoothed = cross_entropy(logits, np.array([0]), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_invalid_label_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((1, 3))), np.array([0]), label_smoothing=1.0)
+
+    def test_gradient_shape(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([0, 1, 2, 0])).backward()
+        assert logits.grad.shape == (4, 3)
+
+
+class TestRegressionLosses:
+    def test_mse_zero_for_identical(self):
+        predictions = Tensor(np.ones((3, 2)))
+        assert mse_loss(predictions, np.ones((3, 2))).item() == pytest.approx(0.0)
+
+    def test_msre_is_relative(self):
+        # Same absolute error, very different relative errors.
+        small_target = np.array([[1.0]])
+        big_target = np.array([[100.0]])
+        err_small = msre_loss(Tensor(np.array([[2.0]])), small_target).item()
+        err_big = msre_loss(Tensor(np.array([[101.0]])), big_target).item()
+        assert err_small > err_big * 100
+
+    def test_msre_rejects_zero_targets(self):
+        with pytest.raises(ValueError):
+            msre_loss(Tensor(np.ones((1, 1))), np.zeros((1, 1)))
+
+    def test_msre_perfect_prediction_is_zero(self):
+        targets = np.array([[3.0, 5.0]])
+        assert msre_loss(Tensor(targets.copy()), targets).item() == pytest.approx(0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 3)),
+            elements=st.floats(0.5, 10.0, allow_nan=False, width=64),
+        )
+    )
+    def test_msre_nonnegative(self, targets):
+        predictions = Tensor(targets * 1.3)
+        assert msre_loss(predictions, targets).item() >= 0.0
+
+
+class TestHelpers:
+    def test_one_hot_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2, 1]), 4)
+        assert encoded.shape == (3, 4)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+        assert encoded[1, 2] == 1.0
+
+    def test_accuracy_perfect_and_chance(self):
+        logits = np.array([[3.0, 0.0], [0.0, 3.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0

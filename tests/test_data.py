@@ -1,0 +1,111 @@
+"""Tests for the synthetic dataset substrate and data loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DataLoader,
+    ImageClassificationDataset,
+    make_cifar_like,
+    make_imagenet_like,
+    make_synthetic_dataset,
+    train_val_split,
+)
+
+
+class TestSyntheticDataset:
+    def test_shapes_and_dtypes(self):
+        dataset = make_cifar_like(num_samples=64, resolution=8, rng=0)
+        assert dataset.images.shape == (64, 3, 8, 8)
+        assert dataset.labels.shape == (64,)
+        assert dataset.num_classes == 10
+        assert dataset.image_shape == (3, 8, 8)
+
+    def test_labels_cover_all_classes(self):
+        dataset = make_synthetic_dataset(num_samples=100, num_classes=10, resolution=8, rng=0)
+        assert set(np.unique(dataset.labels)) == set(range(10))
+
+    def test_determinism_given_seed(self):
+        a = make_cifar_like(num_samples=32, resolution=8, rng=7)
+        b = make_cifar_like(num_samples=32, resolution=8, rng=7)
+        assert np.allclose(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_normalisation(self):
+        dataset = make_cifar_like(num_samples=256, resolution=8, rng=0)
+        assert np.allclose(dataset.images.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(dataset.images.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_class_signal_exists(self):
+        # Same-class images should be more similar than different-class images.
+        dataset = make_synthetic_dataset(num_samples=200, num_classes=4, resolution=8, noise_std=0.2, rng=0)
+        images = dataset.images.reshape(len(dataset), -1)
+        same, diff = [], []
+        for cls in range(4):
+            members = images[dataset.labels == cls]
+            centroid = members.mean(axis=0)
+            same.append(np.linalg.norm(members - centroid, axis=1).mean())
+            others = images[dataset.labels != cls]
+            diff.append(np.linalg.norm(others - centroid, axis=1).mean())
+        assert np.mean(same) < np.mean(diff)
+
+    def test_imagenet_like_has_more_classes(self):
+        dataset = make_imagenet_like(num_samples=64, resolution=8, num_classes=20, rng=0)
+        assert dataset.num_classes == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_dataset(num_samples=5, num_classes=10)
+        with pytest.raises(ValueError):
+            ImageClassificationDataset(np.zeros((4, 3, 8, 8)), np.zeros(3, dtype=np.int64), 10)
+
+    def test_split_partition(self):
+        dataset = make_cifar_like(num_samples=100, resolution=8, rng=0)
+        train, val = dataset.split(0.8, rng=1)
+        assert len(train) == 80 and len(val) == 20
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_samples=st.integers(20, 80), num_classes=st.integers(2, 8))
+    def test_property_balanced_classes(self, num_samples, num_classes):
+        dataset = make_synthetic_dataset(
+            num_samples=num_samples, num_classes=num_classes, resolution=4, rng=0
+        )
+        counts = np.bincount(dataset.labels, minlength=num_classes)
+        assert counts.max() - counts.min() <= 1
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        dataset = make_cifar_like(num_samples=50, resolution=4, rng=0)
+        loader = DataLoader(dataset, batch_size=16, shuffle=False)
+        total = sum(labels.shape[0] for _, labels in loader)
+        assert total == 50
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        dataset = make_cifar_like(num_samples=50, resolution=4, rng=0)
+        loader = DataLoader(dataset, batch_size=16, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 3
+        assert all(labels.shape[0] == 16 for _, labels in batches)
+
+    def test_shuffle_changes_order(self):
+        dataset = make_cifar_like(num_samples=64, resolution=4, rng=0)
+        loader = DataLoader(dataset, batch_size=64, shuffle=True, rng=0)
+        first_epoch = next(iter(loader))[1]
+        second_epoch = next(iter(loader))[1]
+        assert not np.array_equal(first_epoch, second_epoch)
+
+    def test_invalid_batch_size(self):
+        dataset = make_cifar_like(num_samples=16, resolution=4, rng=0)
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=0)
+
+    def test_train_val_split_sizes(self):
+        dataset = make_cifar_like(num_samples=100, resolution=4, rng=0)
+        train, val = train_val_split(dataset, val_fraction=0.25, rng=0)
+        assert len(train) == 75 and len(val) == 25

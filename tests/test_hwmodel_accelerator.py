@@ -1,0 +1,183 @@
+"""Tests for the accelerator configuration, design space and workload models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwmodel import (
+    AcceleratorConfig,
+    ConvLayerShape,
+    Dataflow,
+    HardwareSearchSpace,
+    NetworkWorkload,
+    conv_layer,
+    mbconv_layers,
+    tiny_search_space,
+)
+
+
+class TestDataflow:
+    def test_from_name_accepts_strings_and_enum(self):
+        assert Dataflow.from_name("ws") is Dataflow.WEIGHT_STATIONARY
+        assert Dataflow.from_name("RS") is Dataflow.ROW_STATIONARY
+        assert Dataflow.from_name(Dataflow.OUTPUT_STATIONARY) is Dataflow.OUTPUT_STATIONARY
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Dataflow.from_name("XX")
+
+
+class TestAcceleratorConfig:
+    def test_derived_quantities(self):
+        config = AcceleratorConfig(pe_x=12, pe_y=10, rf_size=16, dataflow="WS")
+        assert config.num_pes == 120
+        assert config.total_rf_words == 120 * 16
+
+    def test_dict_roundtrip(self):
+        config = AcceleratorConfig(8, 24, 64, Dataflow.ROW_STATIONARY)
+        assert AcceleratorConfig.from_dict(config.as_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(0, 8, 16, "WS")
+        with pytest.raises(ValueError):
+            AcceleratorConfig(8, 8, 0, "WS")
+
+
+class TestHardwareSearchSpace:
+    def test_default_space_size_and_width(self):
+        space = HardwareSearchSpace()
+        assert len(space) == 9 * 9 * 5 * 3
+        assert space.encoding_width == 9 + 9 + 5 + 3
+
+    def test_enumeration_covers_all_unique_configs(self):
+        space = tiny_search_space()
+        configs = list(space.enumerate())
+        assert len(configs) == len(space)
+        assert len(set(configs)) == len(configs)
+
+    def test_contains(self):
+        space = tiny_search_space()
+        assert space.contains(AcceleratorConfig(8, 16, 64, "OS"))
+        assert not space.contains(AcceleratorConfig(9, 16, 64, "OS"))
+
+    def test_encode_decode_roundtrip_for_every_config(self):
+        space = tiny_search_space()
+        for config in space.enumerate():
+            encoding = space.encode(config)
+            assert encoding.shape == (space.encoding_width,)
+            assert np.isclose(encoding.sum(), 4.0)  # one-hot per field
+            assert space.decode(encoding) == config
+
+    def test_encode_rejects_out_of_space_config(self):
+        with pytest.raises(ValueError):
+            tiny_search_space().encode(AcceleratorConfig(9, 9, 9, "WS"))
+
+    def test_decode_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            tiny_search_space().decode(np.zeros(5))
+
+    def test_soft_encoding_decodes_to_argmax(self):
+        space = tiny_search_space()
+        config = AcceleratorConfig(16, 24, 16, "RS")
+        soft = space.encode(config) * 0.7 + 0.1
+        assert space.decode(soft) == config
+
+    def test_field_slices_partition_encoding(self):
+        space = HardwareSearchSpace()
+        slices = space.field_slices()
+        covered = sorted(
+            index for field_slice in slices.values() for index in range(field_slice.start, field_slice.stop)
+        )
+        assert covered == list(range(space.encoding_width))
+
+    def test_sampling_stays_in_space(self):
+        space = tiny_search_space()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert space.contains(space.sample(rng=rng))
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareSearchSpace(pe_x_choices=(8, 8))
+
+    def test_encode_indices_match_choice_positions(self):
+        space = tiny_search_space()
+        config = AcceleratorConfig(24, 8, 4, "OS")
+        indices = space.encode_indices(config)
+        assert space.pe_x_choices[indices["pe_x"]] == 24
+        assert space.pe_y_choices[indices["pe_y"]] == 8
+        assert space.rf_choices[indices["rf_size"]] == 4
+        assert space.dataflow_choices[indices["dataflow"]] is Dataflow.OUTPUT_STATIONARY
+
+
+class TestConvLayerShape:
+    def test_macs_formula(self):
+        layer = ConvLayerShape("l", n=1, c=16, h=8, w=8, k=32, r=3, s=3)
+        assert layer.macs == 1 * 32 * 16 * 8 * 8 * 3 * 3
+        assert layer.flops == 2 * layer.macs
+
+    def test_stride_halves_output(self):
+        layer = ConvLayerShape("l", n=1, c=8, h=16, w=16, k=8, r=3, s=3, stride=2)
+        assert layer.out_h == 8 and layer.out_w == 8
+
+    def test_depthwise_macs_divide_by_groups(self):
+        dense = ConvLayerShape("d", n=1, c=16, h=8, w=8, k=16, r=3, s=3)
+        depthwise = ConvLayerShape("dw", n=1, c=16, h=8, w=8, k=16, r=3, s=3, groups=16)
+        assert depthwise.macs * 16 == dense.macs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayerShape("bad", n=0, c=1, h=1, w=1, k=1, r=1, s=1)
+        with pytest.raises(ValueError):
+            ConvLayerShape("bad", n=1, c=3, h=8, w=8, k=4, r=3, s=3, groups=2)
+
+    def test_scaled_batch(self):
+        layer = conv_layer("c", 3, 8, 16, 3)
+        scaled = layer.scaled(4)
+        assert scaled.n == 4 and scaled.macs == 4 * layer.macs
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        c=st.integers(1, 64),
+        k=st.integers(1, 64),
+        h=st.integers(4, 32),
+        r=st.sampled_from([1, 3, 5, 7]),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_property_sizes_positive(self, c, k, h, r, stride):
+        layer = ConvLayerShape("p", n=1, c=c, h=h, w=h, k=k, r=r, s=r, stride=stride)
+        assert layer.macs > 0
+        assert layer.out_h >= 1 and layer.out_w >= 1
+        assert layer.total_data == layer.input_size + layer.weight_size + layer.output_size
+
+
+class TestWorkloads:
+    def test_network_workload_totals(self):
+        workload = NetworkWorkload("net", [conv_layer("a", 3, 8, 8, 3), conv_layer("b", 8, 8, 8, 3)])
+        assert workload.total_macs == sum(layer.macs for layer in workload)
+        assert len(workload) == 2
+
+    def test_mbconv_expansion_structure(self):
+        layers = mbconv_layers("blk", in_channels=16, out_channels=24, feature_size=8, kernel_size=5, expansion=6)
+        assert len(layers) == 3
+        expand, depthwise, project = layers
+        assert expand.k == 16 * 6
+        assert depthwise.groups == 16 * 6
+        assert depthwise.r == 5
+        assert project.k == 24
+
+    def test_mbconv_stride_shrinks_projection_input(self):
+        layers = mbconv_layers("blk", 16, 16, feature_size=8, kernel_size=3, expansion=3, stride=2)
+        assert layers[2].h == 4
+
+    def test_mbconv_rejects_bad_expansion(self):
+        with pytest.raises(ValueError):
+            mbconv_layers("blk", 8, 8, 8, 3, expansion=0)
+
+    def test_workload_scaled(self):
+        workload = NetworkWorkload("net", [conv_layer("a", 3, 8, 8, 3)])
+        assert workload.scaled(8).total_macs == 8 * workload.total_macs

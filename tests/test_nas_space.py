@@ -1,0 +1,246 @@
+"""Tests for candidate operations, the NAS search space and FLOPs accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor
+from repro.nas import (
+    CANDIDATE_OPS,
+    ArchitectureParameters,
+    FlopsModel,
+    MBConvOp,
+    NUM_CANDIDATE_OPS,
+    SkipConnection,
+    ZeroOp,
+    build_cifar_search_space,
+    build_imagenet_search_space,
+    build_op_module,
+    derive_architecture,
+    op_flops,
+    op_index,
+    op_workload_layers,
+)
+
+
+class TestCandidateOps:
+    def test_paper_operation_set(self):
+        assert NUM_CANDIDATE_OPS == 7
+        names = {op.name for op in CANDIDATE_OPS}
+        assert "zero" in names
+        assert {"mbconv3_e3", "mbconv3_e6", "mbconv5_e3", "mbconv5_e6", "mbconv7_e3", "mbconv7_e6"} <= names
+
+    def test_op_index_lookup(self):
+        assert CANDIDATE_OPS[op_index("zero")].is_zero
+        with pytest.raises(KeyError):
+            op_index("conv11")
+
+    def test_zero_op_outputs_zeros_with_right_shape(self):
+        zero = ZeroOp(4, 8, stride=2)
+        out = zero(Tensor(np.ones((2, 4, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+        assert np.allclose(out.data, 0.0)
+
+    def test_mbconv_forward_shapes(self):
+        op = MBConvOp(in_channels=4, out_channels=8, kernel_size=3, expansion=3, stride=2, rng=0)
+        out = op(Tensor(np.random.default_rng(0).normal(size=(2, 4, 8, 8))))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_mbconv_residual_only_when_shapes_match(self):
+        same = MBConvOp(4, 4, 3, 3, stride=1)
+        different = MBConvOp(4, 8, 3, 3, stride=1)
+        strided = MBConvOp(4, 4, 3, 3, stride=2)
+        assert same.use_residual
+        assert not different.use_residual
+        assert not strided.use_residual
+
+    def test_skip_connection_identity_vs_projection(self):
+        identity = SkipConnection(4, 4, stride=1)
+        projection = SkipConnection(4, 8, stride=2, rng=0)
+        assert identity.is_identity
+        assert not projection.is_identity
+        out = projection(Tensor(np.zeros((1, 4, 8, 8))))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_build_op_module_zero_and_mbconv(self):
+        zero_module = build_op_module(CANDIDATE_OPS[op_index("zero")], 4, 4)
+        conv_module = build_op_module(CANDIDATE_OPS[op_index("mbconv5_e6")], 4, 4, rng=0)
+        assert isinstance(zero_module, ZeroOp)
+        assert isinstance(conv_module, MBConvOp)
+
+    def test_zero_op_contributes_no_workload(self):
+        layers = op_workload_layers(CANDIDATE_OPS[op_index("zero")], "z", 16, 16, 8)
+        assert layers == []
+
+    def test_larger_kernel_and_expansion_cost_more_flops(self):
+        small = op_flops(CANDIDATE_OPS[op_index("mbconv3_e3")], 16, 16, 16)
+        big = op_flops(CANDIDATE_OPS[op_index("mbconv7_e6")], 16, 16, 16)
+        assert big > small
+        assert op_flops(CANDIDATE_OPS[op_index("zero")], 16, 16, 16) == 0
+
+
+class TestSearchSpace:
+    def test_cifar_space_matches_paper_shape(self, nas_space):
+        assert nas_space.num_searchable == 9
+        assert nas_space.num_ops == 7
+        assert nas_space.encoding_width == 63
+        assert nas_space.total_layers == 13
+
+    def test_channels_increase_every_three_layers(self, nas_space):
+        channels = [cfg.nominal_out_channels for cfg in nas_space.searchable_layers]
+        assert channels[0] == channels[1] == channels[2]
+        assert channels[3] > channels[2]
+        assert channels[6] > channels[5]
+
+    def test_stage_boundaries_downsample(self, nas_space):
+        strides = [cfg.stride for cfg in nas_space.searchable_layers]
+        assert strides[3] == 2 and strides[6] == 2
+        assert strides[0] == 1
+
+    def test_encode_decode_roundtrip(self, nas_space):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            arch = nas_space.random_architecture(rng=rng)
+            encoding = nas_space.encode_indices(arch)
+            assert encoding.shape == (63,)
+            assert np.allclose(encoding.sum(), 9.0)
+            assert np.array_equal(nas_space.decode_encoding(encoding), arch)
+
+    def test_validate_indices_rejects_bad_input(self, nas_space):
+        with pytest.raises(ValueError):
+            nas_space.validate_indices([0, 1])
+        with pytest.raises(ValueError):
+            nas_space.validate_indices([99] * 9)
+
+    def test_encode_probabilities_validates_shape_and_sign(self, nas_space):
+        good = np.full((9, 7), 1.0 / 7.0)
+        assert nas_space.encode_probabilities(good).shape == (63,)
+        with pytest.raises(ValueError):
+            nas_space.encode_probabilities(np.zeros((3, 7)))
+        with pytest.raises(ValueError):
+            nas_space.encode_probabilities(good - 1.0)
+
+    def test_workload_respects_zero_ops(self, nas_space):
+        all_zero = np.full(9, op_index("zero"))
+        all_heavy = np.full(9, op_index("mbconv7_e6"))
+        zero_workload = nas_space.build_workload(all_zero)
+        heavy_workload = nas_space.build_workload(all_heavy)
+        # Only stem and head remain when everything is Zero.
+        assert len(zero_workload) == 2
+        assert heavy_workload.total_macs > zero_workload.total_macs
+
+    def test_architecture_flops_monotone_in_op_weight(self, nas_space):
+        light = np.full(9, op_index("mbconv3_e3"))
+        heavy = np.full(9, op_index("mbconv7_e6"))
+        assert nas_space.architecture_flops(heavy) > nas_space.architecture_flops(light)
+
+    def test_imagenet_space_costs_more_than_cifar(self, nas_space):
+        imagenet = build_imagenet_search_space()
+        arch = np.full(9, op_index("mbconv5_e6"))
+        assert imagenet.architecture_flops(arch) > nas_space.architecture_flops(arch)
+
+    def test_random_architecture_allow_zero_flag(self, nas_space):
+        rng = np.random.default_rng(0)
+        archs = [nas_space.random_architecture(rng=rng, allow_zero=False) for _ in range(20)]
+        assert all(op_index("zero") not in arch for arch in archs)
+
+    def test_num_searchable_must_be_multiple_of_three(self):
+        with pytest.raises(ValueError):
+            build_cifar_search_space(num_searchable=7)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 6), min_size=9, max_size=9))
+    def test_property_workload_macs_match_sum_of_ops(self, arch):
+        space = build_cifar_search_space()
+        workload = space.build_workload(arch)
+        expected = sum(layer.macs for layer in space.fixed_workload_layers())
+        for position, op_idx in enumerate(arch):
+            expected += sum(layer.macs for layer in space.op_layers(position, op_idx))
+        assert workload.total_macs == expected
+
+
+class TestFlopsModel:
+    def test_expected_flops_of_one_hot_matches_discrete(self, nas_space):
+        model = FlopsModel(nas_space)
+        arch = nas_space.random_architecture(rng=0)
+        one_hot = nas_space.encode_indices(arch).reshape(9, 7)
+        expected = model.expected_flops(Tensor(one_hot)).item()
+        assert expected == pytest.approx(model.architecture_flops(arch))
+
+    def test_expected_flops_differentiable(self, nas_space):
+        model = FlopsModel(nas_space)
+        probabilities = Tensor(np.full((9, 7), 1.0 / 7.0), requires_grad=True)
+        model.normalized_expected_flops(probabilities).backward()
+        assert probabilities.grad is not None
+        assert np.all(probabilities.grad >= 0)
+
+    def test_normalized_flops_at_most_one(self, nas_space):
+        model = FlopsModel(nas_space)
+        heaviest = np.full(9, op_index("mbconv7_e6"))
+        one_hot = nas_space.encode_indices(heaviest).reshape(9, 7)
+        assert model.normalized_expected_flops(Tensor(one_hot)).item() == pytest.approx(1.0)
+
+    def test_shape_validation(self, nas_space):
+        model = FlopsModel(nas_space)
+        with pytest.raises(ValueError):
+            model.expected_flops(Tensor(np.zeros((3, 7))))
+
+
+class TestArchitectureParameters:
+    def test_probabilities_are_distributions(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        probabilities = params.probabilities()
+        assert probabilities.shape == (9, 7)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_encoding_tensor_is_differentiable(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        encoding = params.encoding_tensor()
+        assert encoding.shape == (1, 63)
+        encoding.sum().backward()
+        assert params.alpha.grad is not None
+
+    def test_gumbel_sample_one_hot_rows(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        gates = params.sample_gumbel(temperature=0.5, hard=True, rng=1)
+        assert gates.shape == (9, 7)
+        assert np.allclose(gates.data.sum(axis=1), 1.0)
+
+    def test_set_architecture_forces_derivation(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        target = nas_space.random_architecture(rng=2)
+        params.set_architecture(target)
+        assert np.array_equal(params.derive(), target)
+
+    def test_entropy_decreases_when_confident(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        initial_entropy = params.entropy()
+        params.set_architecture(nas_space.random_architecture(rng=1), confidence=10.0)
+        assert params.entropy() < initial_entropy
+
+    def test_sample_indices_respects_distribution(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        params.set_architecture(np.zeros(9, dtype=np.int64), confidence=12.0)
+        samples = params.sample_indices(rng=3)
+        assert np.array_equal(samples, np.zeros(9))
+
+
+class TestDerivation:
+    def test_derive_from_parameters_and_indices_agree(self, nas_space):
+        params = ArchitectureParameters(nas_space, rng=0)
+        target = nas_space.random_architecture(rng=1)
+        params.set_architecture(target)
+        from_params = derive_architecture(nas_space, params)
+        from_indices = derive_architecture(nas_space, target)
+        assert np.array_equal(from_params.op_indices, from_indices.op_indices)
+        assert from_params.flops == from_indices.flops
+
+    def test_derived_architecture_reports_active_layers(self, nas_space):
+        arch = np.full(9, op_index("zero"))
+        arch[0] = op_index("mbconv3_e3")
+        derived = derive_architecture(nas_space, arch)
+        assert derived.num_active_layers == 1
+        assert "mbconv3_e3" in str(derived)

@@ -1,0 +1,112 @@
+"""Tests for the supernet, mixed operations and derived networks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, cross_entropy
+from repro.nas import ArchitectureParameters, DerivedNetwork, SuperNet, build_cifar_search_space, op_index
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    """A 3-position space so supernet tests stay fast."""
+    return build_cifar_search_space(num_searchable=3, trainable_resolution=8, trainable_base_channels=4)
+
+
+@pytest.fixture(scope="module")
+def supernet(tiny_space):
+    return SuperNet(tiny_space, rng=0)
+
+
+def _one_hot_gates(space, indices):
+    gates = np.zeros((space.num_searchable, space.num_ops))
+    gates[np.arange(space.num_searchable), indices] = 1.0
+    return Tensor(gates)
+
+
+class TestSuperNet:
+    def test_forward_output_shape(self, tiny_space, supernet):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)))
+        gates = _one_hot_gates(tiny_space, [0, 1, 2])
+        logits = supernet(x, gates)
+        assert logits.shape == (2, tiny_space.num_classes)
+
+    def test_forward_rejects_wrong_gate_shape(self, supernet):
+        x = Tensor(np.zeros((1, 3, 8, 8)))
+        with pytest.raises(ValueError):
+            supernet(x, Tensor(np.zeros((2, 2))))
+
+    def test_gradient_reaches_arch_parameters_through_gates(self, tiny_space, supernet):
+        params = ArchitectureParameters(tiny_space, rng=1)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 8, 8)))
+        labels = np.array([0, 1])
+        gates = params.sample_gumbel(temperature=1.0, hard=True, rng=2)
+        loss = cross_entropy(supernet(x, gates), labels)
+        loss.backward()
+        assert params.alpha.grad is not None
+        assert np.any(params.alpha.grad != 0.0)
+
+    def test_gradient_reaches_supernet_weights(self, tiny_space, supernet):
+        supernet.zero_grad()
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 3, 8, 8)))
+        gates = _one_hot_gates(tiny_space, [1, 1, 1])
+        loss = cross_entropy(supernet(x, gates), np.array([0, 1]))
+        loss.backward()
+        stem_weight = supernet.stem[0].weight
+        assert stem_weight.grad is not None and np.any(stem_weight.grad != 0.0)
+
+    def test_all_zero_gates_still_produce_valid_output(self, tiny_space, supernet):
+        zero_index = op_index("zero")
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 8, 8)))
+        logits = supernet(x, _one_hot_gates(tiny_space, [zero_index] * 3))
+        assert logits.shape == (2, tiny_space.num_classes)
+        assert np.all(np.isfinite(logits.data))
+
+    def test_forward_discrete_matches_manual_gates(self, tiny_space, supernet):
+        supernet.eval()
+        x = Tensor(np.random.default_rng(4).normal(size=(1, 3, 8, 8)))
+        indices = [2, 0, 1]
+        manual = supernet(x, _one_hot_gates(tiny_space, indices))
+        direct = supernet.forward_discrete(x, indices)
+        supernet.train()
+        assert np.allclose(manual.data, direct.data)
+
+    def test_different_gates_give_different_outputs(self, tiny_space, supernet):
+        supernet.eval()
+        x = Tensor(np.random.default_rng(5).normal(size=(1, 3, 8, 8)))
+        out_a = supernet(x, _one_hot_gates(tiny_space, [0, 0, 0])).data
+        out_b = supernet(x, _one_hot_gates(tiny_space, [5, 5, 5])).data
+        supernet.train()
+        assert not np.allclose(out_a, out_b)
+
+
+class TestDerivedNetwork:
+    def test_forward_shape(self, tiny_space):
+        network = DerivedNetwork(tiny_space, [0, 3, 6], rng=0)
+        out = network(Tensor(np.random.default_rng(0).normal(size=(4, 3, 8, 8))))
+        assert out.shape == (4, tiny_space.num_classes)
+
+    def test_zero_layers_reduce_parameter_count(self, tiny_space):
+        zero_index = op_index("zero")
+        all_zero = DerivedNetwork(tiny_space, [zero_index] * 3, rng=0)
+        all_conv = DerivedNetwork(tiny_space, [op_index("mbconv7_e6")] * 3, rng=0)
+        assert all_zero.num_parameters() < all_conv.num_parameters()
+
+    def test_invalid_indices_rejected(self, tiny_space):
+        with pytest.raises(ValueError):
+            DerivedNetwork(tiny_space, [0, 1], rng=0)
+
+    def test_training_improves_over_initial_accuracy(self, tiny_space):
+        from repro.core import ClassifierTrainingConfig, evaluate_classifier, train_classifier
+        from repro.data import make_cifar_like, train_val_split
+
+        dataset = make_cifar_like(num_samples=120, resolution=8, rng=0)
+        train_set, val_set = train_val_split(dataset, val_fraction=0.3, rng=1)
+        network = DerivedNetwork(tiny_space, [1, 1, 1], rng=2)
+        initial = evaluate_classifier(network, val_set)
+        final = train_classifier(
+            network, train_set, val_set, ClassifierTrainingConfig(epochs=3, batch_size=16), rng=3
+        )
+        assert final >= initial

@@ -1,0 +1,77 @@
+"""Tests for the shared utility helpers (seeding, logging, serialisation)."""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import get_logger, global_rng, load_json, save_json, seed_everything
+from repro.utils.seeding import as_rng
+
+
+class TestSeeding:
+    def test_seed_everything_is_deterministic(self):
+        seed_everything(42)
+        first = global_rng().normal(size=5)
+        seed_everything(42)
+        second = global_rng().normal(size=5)
+        assert np.allclose(first, second)
+
+    def test_as_rng_accepts_none_int_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+        assert isinstance(as_rng(3), np.random.Generator)
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+    def test_as_rng_int_is_deterministic(self):
+        assert np.allclose(as_rng(5).normal(size=3), as_rng(5).normal(size=3))
+
+
+class TestLogging:
+    def test_logger_namespacing(self):
+        logger = get_logger("core.test")
+        assert logger.name == "repro.core.test"
+        already_prefixed = get_logger("repro.foo")
+        assert already_prefixed.name == "repro.foo"
+
+    def test_logger_is_singleton_per_name(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_root_has_single_handler(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+
+class TestSerialization:
+    def test_roundtrip_plain_types(self, tmp_path):
+        payload = {"a": 1, "b": [1.5, 2.5], "c": "text"}
+        path = save_json(payload, tmp_path / "plain.json")
+        assert load_json(path) == payload
+
+    def test_numpy_values_serialised(self, tmp_path):
+        payload = {
+            "scalar": np.float64(2.5),
+            "integer": np.int64(7),
+            "flag": np.bool_(True),
+            "array": np.arange(3),
+        }
+        loaded = load_json(save_json(payload, tmp_path / "numpy.json"))
+        assert loaded == {"scalar": 2.5, "integer": 7, "flag": True, "array": [0, 1, 2]}
+
+    def test_dataclass_serialised(self, tmp_path):
+        @dataclasses.dataclass
+        class Record:
+            name: str
+            value: float
+
+        loaded = load_json(save_json({"record": Record("x", 1.0)}, tmp_path / "dc.json"))
+        assert loaded == {"record": {"name": "x", "value": 1.0}}
+
+    def test_nested_directory_created(self, tmp_path):
+        path = save_json({"k": 1}, tmp_path / "nested" / "deep" / "file.json")
+        assert path.exists()
