@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Standalone cost-model performance harness.
+
+Measures the legacy (per-pair Python loop) cost pipeline against the
+vectorised/table-driven pipeline and dumps the measurements to
+``BENCH_costmodel.json`` in the repository root, so future PRs can track the
+trajectory of these numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--samples N] [--tiny] [--output PATH]
+
+``--tiny`` switches to the 81-configuration test space (fast smoke run); the
+default is the paper's full 1215-configuration hardware space.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import numpy as np
+
+from bench_utils import legacy_build_cost_table, legacy_generate_evaluator_dataset
+
+from repro.evaluator import generate_evaluator_dataset
+from repro.hwmodel import AcceleratorCostModel, CostTable, HardwareSearchSpace, tiny_search_space
+from repro.nas import build_cifar_search_space
+
+
+def _time(fn, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=300, help="dataset samples to label")
+    parser.add_argument("--tiny", action="store_true", help="use the 81-config test space")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_costmodel.json"),
+        help="where to write the JSON trajectory file",
+    )
+    args = parser.parse_args()
+    if args.samples <= 0:
+        parser.error("--samples must be positive")
+
+    nas_space = build_cifar_search_space()
+    hw_space = tiny_search_space() if args.tiny else HardwareSearchSpace()
+    cost_model = AcceleratorCostModel()
+    results = {}
+
+    # ------------------------------------------------------------------
+    # 1. Cost-table construction
+    # ------------------------------------------------------------------
+    before = _time(lambda: legacy_build_cost_table(nas_space, hw_space, cost_model))
+    after = _time(lambda: CostTable(nas_space, hw_space, cost_model=cost_model), repeats=3)
+    results["cost_table_build"] = {"before_s": before, "after_s": after, "speedup": before / after}
+    print(f"cost_table_build:     {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    # ------------------------------------------------------------------
+    # 2. Batched layer evaluation (every candidate layer x every config)
+    # ------------------------------------------------------------------
+    table = CostTable(nas_space, hw_space, cost_model=cost_model)
+    layers = list(nas_space.fixed_workload_layers())
+    for position in range(nas_space.num_searchable):
+        for op_idx in range(nas_space.num_ops):
+            layers.extend(nas_space.op_layers(position, op_idx))
+    configs = hw_space.config_list()
+    pair_budget = min(len(layers) * len(configs), 4000)
+    per_layer = max(1, pair_budget // len(configs))
+
+    def scalar_pairs():
+        for layer in layers[:per_layer]:
+            for config in configs:
+                cost_model.latency_model.layer_latency_ms_reference(layer, config)
+                cost_model.energy_model.layer_energy_mj_reference(layer, config)
+
+    before = _time(scalar_pairs) * (len(layers) / per_layer)
+    after = _time(lambda: cost_model.evaluate_layer_batch(layers, hw_space.config_batch()), repeats=3)
+    results["batched_layer_eval"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "pairs": len(layers) * len(configs),
+    }
+    print(f"batched_layer_eval:   {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    # ------------------------------------------------------------------
+    # 3. Evaluator dataset generation (labelling only, shared table)
+    # ------------------------------------------------------------------
+    samples = args.samples
+    before = _time(
+        lambda: legacy_generate_evaluator_dataset(nas_space, hw_space, samples, table, rng=0)
+    )
+    after = _time(
+        lambda: generate_evaluator_dataset(
+            nas_space, hw_space, num_samples=samples, cost_table=table, rng=0
+        ),
+        repeats=3,
+    )
+    results["dataset_labeling"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "samples": samples,
+    }
+    print(f"dataset_labeling:     {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    # ------------------------------------------------------------------
+    # 4. End-to-end dataset generation (table build + labelling)
+    # ------------------------------------------------------------------
+    end_to_end_before = (
+        results["cost_table_build"]["before_s"] + results["dataset_labeling"]["before_s"]
+    )
+    end_to_end_after = _time(
+        lambda: generate_evaluator_dataset(nas_space, hw_space, num_samples=samples, rng=0),
+        repeats=2,
+    )
+    results["dataset_generation_end_to_end"] = {
+        "before_s": end_to_end_before,
+        "after_s": end_to_end_after,
+        "speedup": end_to_end_before / end_to_end_after,
+        "samples": samples,
+    }
+    print(
+        f"dataset_end_to_end:   {end_to_end_before:8.3f} s -> {end_to_end_after:8.4f} s"
+        f"  ({end_to_end_before/end_to_end_after:7.1f}x)"
+    )
+
+    payload = {
+        "benchmark": "costmodel",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "space": "tiny" if args.tiny else "full",
+        "num_configs": len(hw_space),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

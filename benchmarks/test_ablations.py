@@ -68,10 +68,13 @@ def test_ablation_warmup_prevents_architecture_collapse(
     """Without warm-up and with a large lambda_2 the search collapses to (near) all-Zero.
 
     With warm-up, the architecture retains more non-Zero operations for the
-    same final lambda_2 — the stated purpose of Section 3.4.
+    same final lambda_2 — the stated purpose of Section 3.4.  A single search
+    at this (deliberately tiny) scale is noisy, so the comparison aggregates
+    the zero-layer counts over a few seeds instead of betting on one run.
     """
     train_images, val_images = cifar_images
     zero = op_index("zero")
+    seeds = (510, 511, 512)
 
     def run(warmup_epochs: int, seed: int):
         searcher = DanceSearcher(
@@ -92,11 +95,13 @@ def test_ablation_warmup_prevents_architecture_collapse(
         result = searcher.search(train_images, val_images, retrain_final=False)
         return int(np.sum(result.op_indices == zero))
 
-    zeros_without_warmup = run(warmup_epochs=0, seed=510)
-    zeros_with_warmup = run(warmup_epochs=max(budget.search_epochs, 3) - 1, seed=510)
+    warmup_epochs = max(budget.search_epochs, 3) - 1
+    zeros_without_warmup = sum(run(warmup_epochs=0, seed=seed) for seed in seeds)
+    zeros_with_warmup = sum(run(warmup_epochs=warmup_epochs, seed=seed) for seed in seeds)
+    total = 9 * len(seeds)
     print_section("Ablation — lambda_2 warm-up")
-    report(f"  #Zero layers without warm-up: {zeros_without_warmup} / 9")
-    report(f"  #Zero layers with    warm-up: {zeros_with_warmup} / 9")
+    report(f"  #Zero layers without warm-up: {zeros_without_warmup} / {total} (sum over {len(seeds)} seeds)")
+    report(f"  #Zero layers with    warm-up: {zeros_with_warmup} / {total} (sum over {len(seeds)} seeds)")
     assert zeros_with_warmup <= zeros_without_warmup
 
 

@@ -1,0 +1,128 @@
+"""Micro-benchmarks for the vectorised hardware cost-model pipeline.
+
+Two things are measured against the legacy per-pair implementations kept in
+``bench_utils``:
+
+* batched N-layers x M-configs kernel evaluation, and
+* end-to-end evaluator dataset generation (cost-table build + oracle
+  labelling) on the seed-equivalent workload — the CIFAR search space against
+  the **full** 1215-configuration hardware space, which is what the paper's
+  data generation runs over.
+
+The dataset-generation speedup is asserted (>= 10x, the PR's acceptance
+threshold); timings are also recorded via pytest-benchmark for trend
+tracking, and ``run_bench.py`` dumps the same measurements to
+``BENCH_costmodel.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.evaluator import generate_evaluator_dataset
+from repro.hwmodel import AcceleratorCostModel, CostTable, HardwareSearchSpace
+from repro.nas import build_cifar_search_space
+
+from bench_utils import (
+    legacy_build_cost_table,
+    legacy_generate_evaluator_dataset,
+    print_section,
+    report,
+)
+
+#: Sample count for the dataset-generation comparison; small enough to keep
+#: the legacy path's runtime tolerable, large enough to dominate noise.
+DATASET_SAMPLES = 300
+
+
+def _collect_candidate_layers(nas_space):
+    layers = list(nas_space.fixed_workload_layers())
+    for position in range(nas_space.num_searchable):
+        for op_idx in range(nas_space.num_ops):
+            layers.extend(nas_space.op_layers(position, op_idx))
+    return layers
+
+
+def test_perf_batched_layer_evaluation(benchmark):
+    """Batched kernel vs the per-pair scalar loop over the same grid."""
+    nas_space = build_cifar_search_space()
+    hw_space = HardwareSearchSpace()
+    cost_model = AcceleratorCostModel()
+    layers = _collect_candidate_layers(nas_space)
+    configs = hw_space.config_list()
+
+    latency, energy, _ = benchmark(
+        lambda: cost_model.evaluate_layer_batch(layers, hw_space.config_batch())
+    )
+
+    start = time.perf_counter()
+    reference_latency = cost_model.latency_model.layer_latency_ms_reference(layers[0], configs[0])
+    reference_energy = cost_model.energy_model.layer_energy_mj_reference(layers[0], configs[0])
+    scalar_pair_seconds = time.perf_counter() - start
+    assert latency[0, 0] == reference_latency
+    assert energy[0, 0] == reference_energy
+
+    pairs = len(layers) * len(configs)
+    batch_seconds = benchmark.stats.stats.min
+    print_section("Perf — batched layer evaluation")
+    report(f"  grid: {len(layers)} layers x {len(configs)} configs = {pairs} pairs")
+    report(f"  batched pass: {batch_seconds*1e3:8.2f} ms  ({batch_seconds/pairs*1e9:6.1f} ns/pair)")
+    report(f"  scalar pair:  {scalar_pair_seconds*1e6:8.1f} us/pair (reference path)")
+
+
+def test_perf_dataset_generation_speedup(benchmark):
+    """End-to-end dataset generation must be >= 10x faster than the loop path."""
+    nas_space = build_cifar_search_space()
+    hw_space = HardwareSearchSpace()
+
+    # Legacy path: nested-loop table build + sample-at-a-time labelling.
+    legacy_cost_model = AcceleratorCostModel()
+    table = CostTable(nas_space, hw_space)  # reused below; excluded from legacy time
+    legacy_start = time.perf_counter()
+    legacy_build_cost_table(nas_space, hw_space, legacy_cost_model)
+    legacy_build_seconds = time.perf_counter() - legacy_start
+    legacy_start = time.perf_counter()
+    legacy_generate_evaluator_dataset(nas_space, hw_space, DATASET_SAMPLES, table, rng=0)
+    legacy_label_seconds = time.perf_counter() - legacy_start
+    legacy_seconds = legacy_build_seconds + legacy_label_seconds
+
+    # Vectorised path (measured via pytest-benchmark): table build + labelling.
+    def vectorised():
+        fresh_table = CostTable(nas_space, hw_space)
+        return generate_evaluator_dataset(
+            nas_space, hw_space, num_samples=DATASET_SAMPLES, cost_table=fresh_table, rng=0
+        )
+
+    dataset = benchmark.pedantic(vectorised, iterations=1, rounds=3)
+    vectorised_seconds = benchmark.stats.stats.min
+    speedup = legacy_seconds / vectorised_seconds
+
+    print_section("Perf — evaluator dataset generation (seed-equivalent workload)")
+    report(f"  samples: {DATASET_SAMPLES}, hardware configs: {len(hw_space)}")
+    report(
+        f"  legacy loop path:   {legacy_seconds:7.2f} s"
+        f"  (table {legacy_build_seconds:5.2f} s + labelling {legacy_label_seconds:5.2f} s)"
+    )
+    report(f"  vectorised path:    {vectorised_seconds:7.3f} s")
+    report(f"  speedup:            {speedup:7.1f} x (acceptance threshold: 10x)")
+
+    assert len(dataset) == DATASET_SAMPLES
+    assert speedup >= 10.0
+
+
+def test_perf_batch_labeling_matches_loop_labels():
+    """Spot parity on the full space: batch labels equal loop labels bitwise."""
+    nas_space = build_cifar_search_space()
+    hw_space = HardwareSearchSpace()
+    table = CostTable(nas_space, hw_space)
+    rng = np.random.default_rng(3)
+    archs = rng.integers(0, nas_space.num_ops, size=(16, nas_space.num_searchable))
+    best, latency, energy, area = table.optimal_configs_batch(archs)
+    for i in range(archs.shape[0]):
+        config, metrics = table.optimal_config(archs[i])
+        assert table.configs[best[i]] == config
+        assert latency[i] == metrics.latency_ms
+        assert energy[i] == metrics.energy_mj
+        assert area[i] == metrics.area_mm2

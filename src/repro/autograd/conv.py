@@ -38,12 +38,11 @@ def _im2col(
     out_h = (h + 2 * ph - kh) // sh + 1
     out_w = (w + 2 * pw - kw) // sw + 1
     padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
-    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
-    for i in range(kh):
-        i_end = i + sh * out_h
-        for j in range(kw):
-            j_end = j + sw * out_w
-            cols[:, :, i, j, :, :] = padded[:, :, i:i_end:sh, j:j_end:sw]
+    # (n, c, H', W', kh, kw) view over every kernel window, then keep one
+    # window per stride step; no data is copied until the final reshape.
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3)
     return cols.reshape(n, c * kh * kw, out_h * out_w), (out_h, out_w)
 
 
@@ -129,15 +128,12 @@ class Conv2d(Module):
         kh, kw = kernel
         group_in = self.in_channels // groups
         group_out = self.out_channels // groups
-        weight_mat = weight.data.reshape(self.out_channels, group_in * kh * kw)
 
+        # One batched einsum over a groups axis replaces the per-group loop;
+        # with groups == 1 this degenerates to the plain im2col matmul.
         cols_grouped = cols.reshape(n, groups, group_in * kh * kw, out_h * out_w)
-        out = np.empty((n, self.out_channels, out_h * out_w), dtype=np.float64)
-        for g in range(groups):
-            w_g = weight_mat[g * group_out : (g + 1) * group_out]
-            out[:, g * group_out : (g + 1) * group_out, :] = np.einsum(
-                "ok,nkl->nol", w_g, cols_grouped[:, g], optimize=True
-            )
+        weight_grouped = weight.data.reshape(groups, group_out, group_in * kh * kw)
+        out = np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
         out_data = out.reshape(n, self.out_channels, out_h, out_w)
         if bias is not None:
             out_data = out_data + bias.data.reshape(1, -1, 1, 1)
@@ -150,17 +146,14 @@ class Conv2d(Module):
                 bias._accumulate(grad.sum(axis=(0, 2)))
             grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
             if weight.requires_grad:
-                grad_w = np.empty_like(weight.data.reshape(conv.out_channels, group_in * kh * kw))
-                for g in range(groups):
-                    grad_w[g * group_out : (g + 1) * group_out] = np.einsum(
-                        "nol,nkl->ok", grad_grouped[:, g], cols_grouped[:, g], optimize=True
-                    )
+                grad_w = np.einsum(
+                    "ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True
+                )
                 weight._accumulate(grad_w.reshape(weight.data.shape))
             if x.requires_grad:
-                grad_cols = np.empty_like(cols_grouped)
-                for g in range(groups):
-                    w_g = weight_mat[g * group_out : (g + 1) * group_out]
-                    grad_cols[:, g] = np.einsum("ok,nol->nkl", w_g, grad_grouped[:, g], optimize=True)
+                grad_cols = np.einsum(
+                    "gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True
+                )
                 grad_cols_flat = grad_cols.reshape(n, conv.in_channels * kh * kw, out_h * out_w)
                 x._accumulate(_col2im(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w)))
 

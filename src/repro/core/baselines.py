@@ -24,7 +24,7 @@ from repro.core.results import SearchResult
 from repro.core.train_utils import ClassifierTrainingConfig, train_classifier
 from repro.data.loaders import DataLoader
 from repro.data.synthetic import ImageClassificationDataset
-from repro.evaluator.dataset import LayerCostTable
+from repro.hwmodel.cost_model import CostTable
 from repro.nas.arch_params import ArchitectureParameters
 from repro.nas.derive import derive_architecture
 from repro.nas.flops import FlopsModel
@@ -58,7 +58,7 @@ class BaselineSearcher:
     def __init__(
         self,
         search_space: NASSearchSpace,
-        cost_table: LayerCostTable,
+        cost_table: CostTable,
         hw_cost_function: Optional[HardwareCostFunction] = None,
         config: Optional[BaselineConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,

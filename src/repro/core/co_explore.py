@@ -36,8 +36,8 @@ from repro.core.train_utils import ClassifierTrainingConfig, train_classifier
 from repro.core.warmup import LambdaWarmup
 from repro.data.loaders import DataLoader
 from repro.data.synthetic import ImageClassificationDataset
-from repro.evaluator.dataset import LayerCostTable
 from repro.evaluator.evaluator import Evaluator
+from repro.hwmodel.cost_model import CostTable
 from repro.nas.arch_params import ArchitectureParameters
 from repro.nas.derive import derive_architecture
 from repro.nas.search_space import NASSearchSpace
@@ -73,7 +73,7 @@ class DanceSearcher:
         self,
         search_space: NASSearchSpace,
         evaluator: Evaluator,
-        cost_table: LayerCostTable,
+        cost_table: CostTable,
         cost_function: Optional[HardwareCostFunction] = None,
         config: Optional[DanceConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,

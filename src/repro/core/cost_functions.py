@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Union
 
+import numpy as np
+
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.hwmodel.metrics import HardwareMetrics
 
@@ -48,6 +50,17 @@ class HardwareCostFunction:
         """Evaluate the cost of concrete (oracle) metrics as a plain float."""
         return float(self(metrics).data.reshape(-1)[0])
 
+    def batch_cost(
+        self, latency: np.ndarray, energy: np.ndarray, area: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised cost over arrays of oracle metrics (no autograd graph).
+
+        The batched cost-model paths (:class:`~repro.hwmodel.cost_model.CostTable`)
+        call this to scalarise whole metric tensors at once; subclasses must
+        keep it numerically identical to :meth:`scalar` applied elementwise.
+        """
+        raise NotImplementedError
+
 
 @dataclass
 class LinearCostFunction(HardwareCostFunction):
@@ -68,6 +81,12 @@ class LinearCostFunction(HardwareCostFunction):
         )
         return combined.mean()
 
+    def batch_cost(
+        self, latency: np.ndarray, energy: np.ndarray, area: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Eq. 3 (same operation order as the scalar path)."""
+        return latency * self.lambda_latency + energy * self.lambda_energy + area * self.lambda_area
+
 
 @dataclass
 class EDAPCostFunction(HardwareCostFunction):
@@ -79,6 +98,12 @@ class EDAPCostFunction(HardwareCostFunction):
         tensor = _as_metric_tensor(metrics)
         product = tensor[:, 0] * tensor[:, 1] * tensor[:, 2]
         return product.mean()
+
+    def batch_cost(
+        self, latency: np.ndarray, energy: np.ndarray, area: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised Eq. 4 (same operation order as the scalar path)."""
+        return latency * energy * area
 
 
 def get_cost_function(name: str, **kwargs) -> HardwareCostFunction:

@@ -25,8 +25,8 @@ from repro.core.cost_functions import EDAPCostFunction, HardwareCostFunction
 from repro.core.results import SearchResult
 from repro.core.train_utils import ClassifierTrainingConfig, train_classifier
 from repro.data.synthetic import ImageClassificationDataset
-from repro.evaluator.dataset import LayerCostTable
 from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
+from repro.hwmodel.cost_model import CostTable
 from repro.hwmodel.metrics import HardwareMetrics
 from repro.nas.search_space import NASSearchSpace
 from repro.nas.supernet import DerivedNetwork
@@ -86,7 +86,7 @@ class RLCoExplorationSearcher:
         self,
         search_space: NASSearchSpace,
         hw_space: HardwareSearchSpace,
-        cost_table: LayerCostTable,
+        cost_table: CostTable,
         cost_function: Optional[HardwareCostFunction] = None,
         config: Optional[RLCoExplorationConfig] = None,
         rng: Optional[Union[int, np.random.Generator]] = None,

@@ -16,7 +16,7 @@ import numpy as np
 from repro.autograd import concatenate
 from repro.autograd.layers import MLP
 from repro.autograd.module import Module
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, no_grad
 from repro.evaluator.encoding import METRIC_ORDER, EvaluatorEncoding
 from repro.hwmodel.metrics import HardwareMetrics
 from repro.utils.seeding import as_rng
@@ -94,10 +94,11 @@ class CostEstimationNetwork(Module):
         was_training = self.training
         self.eval()
         try:
-            prediction = self.forward(
-                Tensor(np.asarray(arch_encoding).reshape(1, -1)),
-                None if hw_encoding is None else Tensor(np.asarray(hw_encoding).reshape(1, -1)),
-            ).data.reshape(-1)
+            with no_grad():
+                prediction = self.forward(
+                    Tensor(np.asarray(arch_encoding).reshape(1, -1)),
+                    None if hw_encoding is None else Tensor(np.asarray(hw_encoding).reshape(1, -1)),
+                ).data.reshape(-1)
         finally:
             self.train(was_training)
         # An untrained (or extrapolating) surrogate can emit slightly negative
@@ -124,10 +125,11 @@ class CostEstimationNetwork(Module):
         was_training = self.training
         self.eval()
         try:
-            predictions = self.forward(
-                Tensor(np.asarray(arch_encodings)),
-                None if hw_encodings is None else Tensor(np.asarray(hw_encodings)),
-            ).data
+            with no_grad():
+                predictions = self.forward(
+                    Tensor(np.asarray(arch_encodings)),
+                    None if hw_encodings is None else Tensor(np.asarray(hw_encodings)),
+                ).data
         finally:
             self.train(was_training)
         targets = np.asarray(metric_targets, dtype=np.float64)

@@ -4,10 +4,11 @@ The paper trains its surrogate on pairs produced by the real toolchain
 (Timeloop + Accelergy wrapped in an exhaustive hardware-generation loop).
 Here the toolchain is :mod:`repro.hwmodel`; this module
 
-* precomputes a :class:`LayerCostTable` — per (searchable position,
-  candidate op, accelerator configuration) latency/energy so that any
-  architecture's cost under any configuration is a cheap table lookup;
-* uses the table to run the exhaustive hardware-generation oracle quickly;
+* builds a :class:`~repro.hwmodel.cost_model.CostTable` — per (searchable
+  position, candidate op, accelerator configuration) latency/energy so that
+  any architecture's cost under any configuration is a cheap table lookup;
+* uses the table to run the exhaustive hardware-generation oracle quickly
+  (whole batches of architectures are labelled in one vectorised pass);
 * emits :class:`EvaluatorDataset` objects holding architecture encodings,
   optimal-hardware labels and cost-metric targets for supervised training.
 """
@@ -15,13 +16,13 @@ Here the toolchain is :mod:`repro.hwmodel`; this module
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
 from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
-from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
-from repro.hwmodel.cost_model import AcceleratorCostModel
+from repro.hwmodel.accelerator import HardwareSearchSpace
+from repro.hwmodel.cost_model import CostTable
 from repro.hwmodel.metrics import HardwareMetrics, edap_cost
 from repro.nas.search_space import NASSearchSpace
 from repro.utils.logging import get_logger
@@ -31,101 +32,10 @@ logger = get_logger("evaluator.dataset")
 
 CostFunction = Callable[[HardwareMetrics], float]
 
-
-class LayerCostTable:
-    """Precomputed per-candidate, per-configuration latency / energy tables.
-
-    Because the hardware cost of a network is the sum of its layers' costs
-    (area being shared), the cost of *any* architecture under *any*
-    configuration decomposes into table lookups.  This turns the exhaustive
-    hardware generation oracle from seconds into microseconds per
-    architecture, which is what makes generating tens of thousands of
-    ground-truth samples feasible.
-    """
-
-    def __init__(
-        self,
-        nas_space: NASSearchSpace,
-        hw_space: HardwareSearchSpace,
-        cost_model: Optional[AcceleratorCostModel] = None,
-    ) -> None:
-        self.nas_space = nas_space
-        self.hw_space = hw_space
-        self.cost_model = cost_model or AcceleratorCostModel()
-        self.configs: List[AcceleratorConfig] = list(hw_space.enumerate())
-        num_configs = len(self.configs)
-        num_positions = nas_space.num_searchable
-        num_ops = nas_space.num_ops
-
-        self.op_latency = np.zeros((num_positions, num_ops, num_configs))
-        self.op_energy = np.zeros((num_positions, num_ops, num_configs))
-        self.fixed_latency = np.zeros(num_configs)
-        self.fixed_energy = np.zeros(num_configs)
-        self.area = np.zeros(num_configs)
-
-        fixed_layers = nas_space.fixed_workload_layers()
-        for config_index, config in enumerate(self.configs):
-            self.area[config_index] = self.cost_model.area_model.total_area_mm2(config)
-            for layer in fixed_layers:
-                self.fixed_latency[config_index] += self.cost_model.latency_model.layer_latency_ms(
-                    layer, config
-                )
-                self.fixed_energy[config_index] += self.cost_model.energy_model.layer_energy_mj(
-                    layer, config
-                )
-        for position in range(num_positions):
-            for op_idx in range(num_ops):
-                layers = nas_space.op_layers(position, op_idx)
-                if not layers:
-                    continue  # Zero op contributes nothing.
-                for config_index, config in enumerate(self.configs):
-                    latency = 0.0
-                    energy = 0.0
-                    for layer in layers:
-                        latency += self.cost_model.latency_model.layer_latency_ms(layer, config)
-                        energy += self.cost_model.energy_model.layer_energy_mj(layer, config)
-                    self.op_latency[position, op_idx, config_index] = latency
-                    self.op_energy[position, op_idx, config_index] = energy
-        logger.info(
-            "LayerCostTable built: %d positions x %d ops x %d configs",
-            num_positions,
-            num_ops,
-            num_configs,
-        )
-
-    # ------------------------------------------------------------------
-    # Fast evaluation
-    # ------------------------------------------------------------------
-    def metrics_per_config(self, op_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(latency, energy, area) arrays over every configuration for one architecture."""
-        indices = self.nas_space.validate_indices(op_indices)
-        latency = self.fixed_latency.copy()
-        energy = self.fixed_energy.copy()
-        for position, op_idx in enumerate(indices):
-            latency += self.op_latency[position, int(op_idx)]
-            energy += self.op_energy[position, int(op_idx)]
-        return latency, energy, self.area
-
-    def optimal_config(
-        self, op_indices: np.ndarray, cost_function: CostFunction = edap_cost
-    ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
-        """Exhaustive-search the best configuration for one architecture."""
-        latency, energy, area = self.metrics_per_config(op_indices)
-        costs = np.array(
-            [
-                cost_function(HardwareMetrics(latency[i], energy[i], area[i]))
-                for i in range(len(self.configs))
-            ]
-        )
-        best = int(np.argmin(costs))
-        metrics = HardwareMetrics(latency[best], energy[best], area[best])
-        return self.configs[best], metrics
-
-    def metrics_for(self, op_indices: np.ndarray, config: AcceleratorConfig) -> HardwareMetrics:
-        """Metrics of one architecture on one specific configuration."""
-        latency, energy, area = self.metrics_per_config(op_indices)
-        config_index = self.configs.index(config)
-        return HardwareMetrics(latency[config_index], energy[config_index], area[config_index])
+#: Backwards-compatible name: the table now lives in the hardware-model
+#: package (it is a property of the oracle, not of the evaluator), but the
+#: historical import path keeps working.
+LayerCostTable = CostTable
 
 
 @dataclass
@@ -189,11 +99,12 @@ def generate_evaluator_dataset(
     nas_space: NASSearchSpace,
     hw_space: HardwareSearchSpace,
     num_samples: int,
-    cost_table: Optional[LayerCostTable] = None,
+    cost_table: Optional[CostTable] = None,
     cost_function: CostFunction = edap_cost,
     soft_fraction: float = 0.25,
     soft_concentration: float = 4.0,
     rng: Optional[Union[int, np.random.Generator]] = None,
+    label_chunk_size: int = 1024,
 ) -> EvaluatorDataset:
     """Generate ground-truth samples from the (non-differentiable) oracle.
 
@@ -203,12 +114,19 @@ def generate_evaluator_dataset(
     of the samples use *softened* architecture encodings (Dirichlet noise
     around the one-hot choice) so the surrogate behaves well on the soft
     probability vectors it sees during differentiable search.
+
+    The oracle labelling runs through the vectorised
+    :meth:`~repro.hwmodel.cost_model.CostTable.optimal_configs_batch` path in
+    chunks of ``label_chunk_size`` architectures, so no per-sample Python
+    dispatch touches the cost model.  The random draws happen per sample, in
+    the same order as the historical loop, so a fixed seed reproduces the
+    exact dataset the loop-based implementation produced.
     """
     if num_samples <= 0:
         raise ValueError("num_samples must be positive")
     generator = as_rng(rng)
     encoding = EvaluatorEncoding(nas_space=nas_space, hw_space=hw_space)
-    table = cost_table or LayerCostTable(nas_space, hw_space)
+    table = cost_table or CostTable(nas_space, hw_space)
 
     arch_encodings = np.zeros((num_samples, encoding.arch_width))
     hw_encodings = np.zeros((num_samples, encoding.hw_width))
@@ -217,9 +135,12 @@ def generate_evaluator_dataset(
     }
     metric_targets = np.zeros((num_samples, encoding.num_metrics))
 
+    # Draw every architecture (and its optional soft encoding) first; the RNG
+    # consumption order per sample matches the historical implementation.
+    arch_indices = np.zeros((num_samples, nas_space.num_searchable), dtype=np.int64)
     for sample_index in range(num_samples):
         op_indices = nas_space.random_architecture(rng=generator)
-        best_config, best_metrics = table.optimal_config(op_indices, cost_function=cost_function)
+        arch_indices[sample_index] = op_indices
 
         arch_one_hot = encoding.encode_architecture(op_indices)
         if generator.uniform() < soft_fraction:
@@ -233,10 +154,22 @@ def generate_evaluator_dataset(
         else:
             arch_encodings[sample_index] = arch_one_hot
 
-        hw_encodings[sample_index] = encoding.encode_hardware(best_config)
-        for field_name, class_index in encoding.hardware_class_indices(best_config).items():
-            hw_labels[field_name][sample_index] = class_index
-        metric_targets[sample_index] = encoding.metrics_to_vector(best_metrics)
+    # Label chunks of architectures with one table pass each; hardware
+    # encodings and class labels come from the table's per-config LUTs.
+    config_encodings = table.config_encodings
+    config_class_indices = table.config_class_indices
+    chunk = max(1, int(label_chunk_size))
+    for start in range(0, num_samples, chunk):
+        stop = min(start + chunk, num_samples)
+        best, latency, energy, area = table.optimal_configs_batch(
+            arch_indices[start:stop], cost_function=cost_function
+        )
+        hw_encodings[start:stop] = config_encodings[best]
+        for field_name in HW_FIELD_ORDER:
+            hw_labels[field_name][start:stop] = config_class_indices[field_name][best]
+        metric_targets[start:stop, 0] = latency
+        metric_targets[start:stop, 1] = energy
+        metric_targets[start:stop, 2] = area
 
     return EvaluatorDataset(
         arch_encodings=arch_encodings,

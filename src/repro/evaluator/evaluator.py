@@ -20,7 +20,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.autograd.module import Module
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, no_grad
 from repro.evaluator.cost_estimation_net import CostEstimationNetwork
 from repro.evaluator.encoding import EvaluatorEncoding
 from repro.evaluator.hw_generation_net import HardwareGenerationNetwork
@@ -92,13 +92,14 @@ class Evaluator(Module):
         was_training = self.training
         self.eval()
         try:
-            encoding = np.asarray(arch_encoding, dtype=np.float64).reshape(1, -1)
-            config = self.hw_generation.predict_config(encoding)
-            if self.feature_forwarding:
-                hw_encoding = self.encoding.encode_hardware(config).reshape(1, -1)
-                metrics = self.cost_estimation.predict_metrics(encoding, hw_encoding)
-            else:
-                metrics = self.cost_estimation.predict_metrics(encoding)
+            with no_grad():
+                encoding = np.asarray(arch_encoding, dtype=np.float64).reshape(1, -1)
+                config = self.hw_generation.predict_config(encoding)
+                if self.feature_forwarding:
+                    hw_encoding = self.encoding.encode_hardware(config).reshape(1, -1)
+                    metrics = self.cost_estimation.predict_metrics(encoding, hw_encoding)
+                else:
+                    metrics = self.cost_estimation.predict_metrics(encoding)
         finally:
             self.train(was_training)
         return config, metrics
@@ -116,12 +117,13 @@ class Evaluator(Module):
         was_training = self.training
         self.eval()
         try:
-            arch = Tensor(np.asarray(arch_encodings))
-            if self.feature_forwarding:
-                hw_features = self.hw_generation.forward_soft_encoding(arch)
-                predictions = self.cost_estimation(arch, hw_features).data
-            else:
-                predictions = self.cost_estimation(arch).data
+            with no_grad():
+                arch = Tensor(np.asarray(arch_encodings))
+                if self.feature_forwarding:
+                    hw_features = self.hw_generation.forward_soft_encoding(arch)
+                    predictions = self.cost_estimation(arch, hw_features).data
+                else:
+                    predictions = self.cost_estimation(arch).data
         finally:
             self.train(was_training)
         targets = np.asarray(metric_targets, dtype=np.float64)

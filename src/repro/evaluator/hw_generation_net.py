@@ -18,7 +18,7 @@ from repro.autograd import concatenate
 from repro.autograd.functional import gumbel_softmax, softmax
 from repro.autograd.layers import Linear, MLP
 from repro.autograd.module import Module
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, no_grad
 from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
 from repro.hwmodel.accelerator import AcceleratorConfig
 from repro.utils.seeding import as_rng
@@ -99,7 +99,8 @@ class HardwareGenerationNetwork(Module):
     # ------------------------------------------------------------------
     def predict_config(self, arch_encoding: np.ndarray) -> AcceleratorConfig:
         """Predict the optimal accelerator configuration for one architecture."""
-        logits = self.forward(Tensor(np.asarray(arch_encoding).reshape(1, -1)))
+        with no_grad():
+            logits = self.forward(Tensor(np.asarray(arch_encoding).reshape(1, -1)))
         hw_space = self.encoding.hw_space
         choices = {
             "pe_x": hw_space.pe_x_choices,
@@ -120,7 +121,8 @@ class HardwareGenerationNetwork(Module):
 
     def field_accuracy(self, arch_encodings: np.ndarray, hw_class_indices: Dict[str, np.ndarray]) -> Dict[str, float]:
         """Per-field top-1 accuracy against oracle labels."""
-        logits = self.forward(Tensor(np.asarray(arch_encodings)))
+        with no_grad():
+            logits = self.forward(Tensor(np.asarray(arch_encodings)))
         accuracies: Dict[str, float] = {}
         for field_name in HW_FIELD_ORDER:
             predictions = logits[field_name].data.argmax(axis=-1)

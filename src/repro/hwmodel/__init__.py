@@ -14,12 +14,19 @@ DRAM interface, executing convolution layers under one of three dataflows
 
 from repro.hwmodel.accelerator import (
     AcceleratorConfig,
+    ConfigBatch,
     Dataflow,
     HardwareSearchSpace,
     tiny_search_space,
 )
-from repro.hwmodel.cost_model import AcceleratorCostModel, LayerCostReport
-from repro.hwmodel.dataflow import MappingResult, analyze_mapping, utilization_by_dataflow
+from repro.hwmodel.cost_model import AcceleratorCostModel, CostTable, LayerCostReport
+from repro.hwmodel.dataflow import (
+    MappingBatch,
+    MappingResult,
+    analyze_mapping,
+    analyze_mapping_batch,
+    utilization_by_dataflow,
+)
 from repro.hwmodel.generator import (
     ExhaustiveHardwareGenerator,
     GenerationResult,
@@ -27,17 +34,27 @@ from repro.hwmodel.generator import (
 )
 from repro.hwmodel.metrics import HardwareMetrics, aggregate_metrics, edap_cost, linear_cost
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
-from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload, conv_layer, mbconv_layers
+from repro.hwmodel.workload import (
+    ConvLayerShape,
+    LayerBatch,
+    NetworkWorkload,
+    conv_layer,
+    mbconv_layers,
+)
 
 __all__ = [
     "AcceleratorConfig",
+    "ConfigBatch",
     "Dataflow",
     "HardwareSearchSpace",
     "tiny_search_space",
     "AcceleratorCostModel",
+    "CostTable",
     "LayerCostReport",
+    "MappingBatch",
     "MappingResult",
     "analyze_mapping",
+    "analyze_mapping_batch",
     "utilization_by_dataflow",
     "ExhaustiveHardwareGenerator",
     "GenerationResult",
@@ -49,6 +66,7 @@ __all__ = [
     "DEFAULT_TECHNOLOGY",
     "TechnologyParameters",
     "ConvLayerShape",
+    "LayerBatch",
     "NetworkWorkload",
     "conv_layer",
     "mbconv_layers",

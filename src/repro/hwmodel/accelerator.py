@@ -60,6 +60,15 @@ class AcceleratorConfig:
             raise ValueError("register file size must be positive")
         object.__setattr__(self, "dataflow", Dataflow.from_name(self.dataflow))
 
+    def __hash__(self) -> int:
+        # Configurations key the cost-model memo; hash the field tuple once.
+        try:
+            return self._cached_hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash((self.pe_x, self.pe_y, self.rf_size, self.dataflow))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
     @property
     def num_pes(self) -> int:
         """Total number of processing elements."""
@@ -88,6 +97,56 @@ class AcceleratorConfig:
             rf_size=int(data["rf_size"]),
             dataflow=Dataflow.from_name(str(data["dataflow"])),
         )
+
+
+#: Stable integer code of each dataflow, used by the batched cost kernels.
+DATAFLOW_CODES: Dict[Dataflow, int] = {dataflow: code for code, dataflow in enumerate(Dataflow)}
+
+
+class ConfigBatch:
+    """Structure-of-arrays view of M accelerator configurations.
+
+    Companion of :class:`repro.hwmodel.workload.LayerBatch`: the batched cost
+    kernels broadcast layer columns (N, 1) against config rows (1, M), so the
+    whole N x M evaluation happens inside numpy.  Dataflows are stored as
+    integer codes (see :data:`DATAFLOW_CODES`).
+    """
+
+    __slots__ = (
+        "configs",
+        "pe_x",
+        "pe_y",
+        "rf_size",
+        "dataflow_code",
+        "num_pes",
+        "total_rf_words",
+    )
+
+    def __init__(self, configs: Sequence[AcceleratorConfig]) -> None:
+        configs = list(configs)
+        if not configs:
+            raise ValueError("ConfigBatch requires at least one configuration")
+        self.configs: Tuple[AcceleratorConfig, ...] = tuple(configs)
+        self.pe_x = np.asarray([config.pe_x for config in configs], dtype=np.int64)
+        self.pe_y = np.asarray([config.pe_y for config in configs], dtype=np.int64)
+        self.rf_size = np.asarray([config.rf_size for config in configs], dtype=np.int64)
+        self.dataflow_code = np.asarray(
+            [DATAFLOW_CODES[config.dataflow] for config in configs], dtype=np.int64
+        )
+        self.num_pes = self.pe_x * self.pe_y
+        self.total_rf_words = self.num_pes * self.rf_size
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    @classmethod
+    def from_configs(cls, configs: Sequence[AcceleratorConfig]) -> "ConfigBatch":
+        """Build a batch from any sequence of configurations."""
+        return cls(configs)
+
+    def row(self, name: str) -> np.ndarray:
+        """A per-config field array shaped (1, M) for broadcasting."""
+        return getattr(self, name)[None, :]
 
 
 # Default discretisation of the search space.  The paper allows PE_X / PE_Y in
@@ -165,6 +224,24 @@ class HardwareSearchSpace:
             self.pe_x_choices, self.pe_y_choices, self.rf_choices, self.dataflow_choices
         ):
             yield AcceleratorConfig(pe_x=pe_x, pe_y=pe_y, rf_size=rf, dataflow=dataflow)
+
+    def config_list(self) -> List[AcceleratorConfig]:
+        """Materialised (and cached) list of every configuration in the space."""
+        try:
+            return self._config_list  # type: ignore[attr-defined]
+        except AttributeError:
+            configs = list(self.enumerate())
+            object.__setattr__(self, "_config_list", configs)
+            return configs
+
+    def config_batch(self) -> ConfigBatch:
+        """Cached structure-of-arrays batch over the whole space."""
+        try:
+            return self._config_batch  # type: ignore[attr-defined]
+        except AttributeError:
+            batch = ConfigBatch(self.config_list())
+            object.__setattr__(self, "_config_batch", batch)
+            return batch
 
     def contains(self, config: AcceleratorConfig) -> bool:
         """Return whether ``config`` lies in the discretised space."""

@@ -7,7 +7,9 @@ independent of the workload: it is a property of the accelerator design only.
 
 from __future__ import annotations
 
-from repro.hwmodel.accelerator import AcceleratorConfig
+import numpy as np
+
+from repro.hwmodel.accelerator import AcceleratorConfig, ConfigBatch
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 
 
@@ -37,4 +39,18 @@ class AreaModel:
             + self.noc_area_mm2(config)
             + self.technology.buffer_area_mm2
             + self.technology.io_area_mm2
+        )
+
+    # ------------------------------------------------------------------
+    # Batched (structure-of-arrays) entry point
+    # ------------------------------------------------------------------
+    def batch_area_mm2(self, configs: ConfigBatch) -> np.ndarray:
+        """(M,) total die areas; vectorised :meth:`total_area_mm2`."""
+        tech = self.technology
+        return (
+            configs.num_pes * tech.pe_area_mm2
+            + configs.total_rf_words * tech.rf_area_per_word_mm2
+            + configs.num_pes * tech.noc_area_per_pe_mm2
+            + tech.buffer_area_mm2
+            + tech.io_area_mm2
         )

@@ -6,20 +6,46 @@ area — exactly the quantities the paper obtains from Timeloop and Accelergy.
 It is the *non-differentiable* ground truth that the evaluator network is
 trained to imitate, and it is also used after the search to score the final
 designs.
+
+The oracle is organised as a three-tier pipeline:
+
+1. **Batched kernels** — :meth:`AcceleratorCostModel.evaluate_layer_batch`
+   evaluates N layers x M configurations in one pass of numpy operations
+   (structure-of-arrays, no per-pair Python dispatch).  The scalar methods
+   are thin wrappers over this path.
+2. **Cost table** — :class:`CostTable` precomputes the per (searchable
+   position, candidate op, configuration) metric tensor once, after which the
+   network-level metrics of *any* architecture under *any* configuration are
+   pure table lookups/summations.  Dataset generation and the search
+   baselines all run on this tier.
+3. **Memo** — an LRU cache keyed on the (hashable) ``(ConvLayerShape,
+   AcceleratorConfig)`` pair serves repeat per-layer queries from callers
+   outside the table path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Union
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.hwmodel.accelerator import AcceleratorConfig
+import numpy as np
+
+from repro.hwmodel.accelerator import AcceleratorConfig, ConfigBatch, HardwareSearchSpace
 from repro.hwmodel.area import AreaModel
+from repro.hwmodel.dataflow import analyze_mapping_batch
 from repro.hwmodel.energy import EnergyModel
 from repro.hwmodel.latency import LatencyModel
-from repro.hwmodel.metrics import HardwareMetrics
+from repro.hwmodel.metrics import HardwareMetrics, edap_cost
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
-from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload
+from repro.hwmodel.workload import ConvLayerShape, LayerBatch, NetworkWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.nas.search_space import NASSearchSpace
+
+CostFunction = Callable[[HardwareMetrics], float]
+
+WorkloadLike = Union[NetworkWorkload, List[ConvLayerShape]]
 
 
 @dataclass(frozen=True)
@@ -33,73 +59,395 @@ class LayerCostReport:
 
 
 class AcceleratorCostModel:
-    """Analytical latency / energy / area oracle for an Eyeriss-style accelerator."""
+    """Analytical latency / energy / area oracle for an Eyeriss-style accelerator.
 
-    def __init__(self, technology: TechnologyParameters = DEFAULT_TECHNOLOGY) -> None:
+    Parameters
+    ----------
+    technology:
+        Process / circuit constants shared by the three sub-models.
+    cache_size:
+        Capacity of the LRU memo serving :meth:`evaluate_layer`; ``0``
+        disables memoisation.
+    """
+
+    def __init__(
+        self,
+        technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
+        cache_size: int = 65536,
+    ) -> None:
         self.technology = technology
         self.latency_model = LatencyModel(technology)
         self.area_model = AreaModel(technology)
         self.energy_model = EnergyModel(
             technology, latency_model=self.latency_model, area_model=self.area_model
         )
+        if cache_size > 0:
+            self._layer_memo = lru_cache(maxsize=cache_size)(self._evaluate_layer_impl)
+        else:
+            self._layer_memo = self._evaluate_layer_impl
 
     # ------------------------------------------------------------------
-    # Layer-level evaluation
+    # Batched evaluation (the workhorse path)
     # ------------------------------------------------------------------
-    def evaluate_layer(self, layer: ConvLayerShape, config: AcceleratorConfig) -> HardwareMetrics:
-        """Latency / energy / area of a single layer on ``config``."""
-        return HardwareMetrics(
-            latency_ms=self.latency_model.layer_latency_ms(layer, config),
-            energy_mj=self.energy_model.layer_energy_mj(layer, config),
-            area_mm2=self.area_model.total_area_mm2(config),
+    def evaluate_layer_batch(
+        self,
+        layers: Union[LayerBatch, Sequence[ConvLayerShape]],
+        configs: Union[ConfigBatch, Sequence[AcceleratorConfig]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-layer metrics of N layers x M configs in one vectorised pass.
+
+        Returns ``(latency_ms, energy_mj, area_mm2)`` with shapes
+        ``(N, M)``, ``(N, M)`` and ``(M,)``.  One mapping analysis is shared
+        between the latency and energy models.
+        """
+        if not isinstance(layers, LayerBatch):
+            layers = LayerBatch.from_layers(layers)
+        if not isinstance(configs, ConfigBatch):
+            configs = ConfigBatch.from_configs(configs)
+        mapping = analyze_mapping_batch(layers, configs)
+        latency = self.latency_model.batch_latency_ms(layers, configs, mapping=mapping)
+        energy = self.energy_model.batch_energy_mj(
+            layers, configs, mapping=mapping, latency_ms=latency
         )
+        area = self.area_model.batch_area_mm2(configs)
+        return latency, energy, area
+
+    def evaluate_network_batch(
+        self,
+        workload: WorkloadLike,
+        configs: Union[ConfigBatch, Sequence[AcceleratorConfig]],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Network-level metrics over M configs: ``(latency, energy, area)``, each ``(M,)``.
+
+        Latency and energy accumulate across layers in workload order (the
+        same sequential accumulation as the scalar path, so results are
+        bit-identical); area is a property of the accelerator alone.
+        """
+        layers = list(workload)
+        if not layers:
+            raise ValueError("workload must contain at least one layer")
+        latency, energy, area = self.evaluate_layer_batch(layers, configs)
+        total_latency = np.zeros(latency.shape[1])
+        total_energy = np.zeros(energy.shape[1])
+        for row in range(latency.shape[0]):
+            total_latency += latency[row]
+            total_energy += energy[row]
+        return total_latency, total_energy, area
+
+    # ------------------------------------------------------------------
+    # Layer-level evaluation (memoised scalar wrapper)
+    # ------------------------------------------------------------------
+    def _evaluate_layer_impl(
+        self, layer: ConvLayerShape, config: AcceleratorConfig
+    ) -> HardwareMetrics:
+        latency, energy, area = self.evaluate_layer_batch(
+            LayerBatch([layer]), ConfigBatch([config])
+        )
+        return HardwareMetrics(
+            latency_ms=float(latency[0, 0]),
+            energy_mj=float(energy[0, 0]),
+            area_mm2=float(area[0]),
+        )
+
+    def evaluate_layer(self, layer: ConvLayerShape, config: AcceleratorConfig) -> HardwareMetrics:
+        """Latency / energy / area of a single layer on ``config`` (LRU-memoised)."""
+        return self._layer_memo(layer, config)
+
+    def cache_info(self):
+        """Hit/miss statistics of the per-layer memo (``None`` when disabled)."""
+        info = getattr(self._layer_memo, "cache_info", None)
+        return info() if info is not None else None
+
+    def cache_clear(self) -> None:
+        """Drop every memoised per-layer evaluation."""
+        clear = getattr(self._layer_memo, "cache_clear", None)
+        if clear is not None:
+            clear()
 
     # ------------------------------------------------------------------
     # Network-level evaluation
     # ------------------------------------------------------------------
-    def evaluate(
-        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
-    ) -> HardwareMetrics:
+    def evaluate(self, workload: WorkloadLike, config: AcceleratorConfig) -> HardwareMetrics:
         """Latency / energy / area of an entire network on ``config``.
 
         Latency and energy accumulate across layers; area is a property of
         the accelerator and is shared by all layers.
         """
-        layers = list(workload)
-        if not layers:
-            raise ValueError("workload must contain at least one layer")
-        latency = 0.0
-        energy = 0.0
-        for layer in layers:
-            latency += self.latency_model.layer_latency_ms(layer, config)
-            energy += self.energy_model.layer_energy_mj(layer, config)
+        latency, energy, area = self.evaluate_network_batch(
+            workload, ConfigBatch([config])
+        )
         return HardwareMetrics(
-            latency_ms=latency,
-            energy_mj=energy,
-            area_mm2=self.area_model.total_area_mm2(config),
+            latency_ms=float(latency[0]),
+            energy_mj=float(energy[0]),
+            area_mm2=float(area[0]),
         )
 
     def evaluate_detailed(
-        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
+        self, workload: WorkloadLike, config: AcceleratorConfig
     ) -> List[LayerCostReport]:
         """Per-layer breakdown of the evaluation (diagnostics / reporting)."""
         from repro.hwmodel.dataflow import analyze_mapping
 
+        layers = list(workload)
+        if not layers:
+            return []
+        latency, energy, _ = self.evaluate_layer_batch(layers, ConfigBatch([config]))
         reports: List[LayerCostReport] = []
-        for layer in workload:
+        for index, layer in enumerate(layers):
             mapping = analyze_mapping(layer, config)
             reports.append(
                 LayerCostReport(
                     layer_name=layer.name,
-                    latency_ms=self.latency_model.layer_latency_ms(layer, config),
-                    energy_mj=self.energy_model.layer_energy_mj(layer, config),
+                    latency_ms=float(latency[index, 0]),
+                    energy_mj=float(energy[index, 0]),
                     spatial_utilization=mapping.spatial_utilization,
                 )
             )
         return reports
 
-    def evaluate_dict(
-        self, workload: Union[NetworkWorkload, List[ConvLayerShape]], config: AcceleratorConfig
-    ) -> Dict[str, float]:
+    def evaluate_dict(self, workload: WorkloadLike, config: AcceleratorConfig) -> Dict[str, float]:
         """Evaluation result as a flat dict (latency_ms, energy_mj, area_mm2, edap)."""
         return self.evaluate(workload, config).as_dict()
+
+
+def _batched_cost_values(
+    cost_function: CostFunction,
+    latency: np.ndarray,
+    energy: np.ndarray,
+    area: np.ndarray,
+) -> Optional[np.ndarray]:
+    """Vectorised cost values, or ``None`` when ``cost_function`` is opaque.
+
+    Recognises (a) callables or bound methods whose owner exposes a
+    ``batch_cost(latency, energy, area)`` method (the
+    :mod:`repro.core.cost_functions` protocol) and (b) the plain
+    :func:`~repro.hwmodel.metrics.edap_cost` function.
+    """
+    for candidate in (cost_function, getattr(cost_function, "__self__", None)):
+        batch = getattr(candidate, "batch_cost", None)
+        if callable(batch):
+            try:
+                return np.asarray(batch(latency, energy, area), dtype=np.float64)
+            except NotImplementedError:
+                return None  # subclass without a vectorised form: use the loop
+    if cost_function is edap_cost:
+        return latency * energy * area
+    return None
+
+
+class CostTable:
+    """Precomputed per-candidate, per-configuration latency / energy tables.
+
+    Because the hardware cost of a network is the sum of its layers' costs
+    (area being shared), the cost of *any* architecture under *any*
+    configuration decomposes into table lookups.  This turns the exhaustive
+    hardware generation oracle from seconds into microseconds per
+    architecture, which is what makes generating tens of thousands of
+    ground-truth samples feasible.
+
+    The table itself is built with one batched kernel invocation over every
+    (candidate layer, configuration) pair rather than nested Python loops.
+    """
+
+    def __init__(
+        self,
+        nas_space: "NASSearchSpace",
+        hw_space: HardwareSearchSpace,
+        cost_model: Optional[AcceleratorCostModel] = None,
+    ) -> None:
+        from repro.utils.logging import get_logger
+
+        self.nas_space = nas_space
+        self.hw_space = hw_space
+        self.cost_model = cost_model or AcceleratorCostModel()
+        self.configs: List[AcceleratorConfig] = list(hw_space.enumerate())
+        self._config_index: Dict[AcceleratorConfig, int] = {
+            config: index for index, config in enumerate(self.configs)
+        }
+        self._config_batch = ConfigBatch(self.configs)
+        num_configs = len(self.configs)
+        num_positions = nas_space.num_searchable
+        num_ops = nas_space.num_ops
+
+        self.op_latency = np.zeros((num_positions, num_ops, num_configs))
+        self.op_energy = np.zeros((num_positions, num_ops, num_configs))
+        self.fixed_latency = np.zeros(num_configs)
+        self.fixed_energy = np.zeros(num_configs)
+
+        # Gather every candidate layer (fixed stem/head plus each position's
+        # per-op layers) into one batch and evaluate all of them against all
+        # configurations in a single vectorised pass.
+        fixed_layers = nas_space.fixed_workload_layers()
+        all_layers: List[ConvLayerShape] = list(fixed_layers)
+        owner_slices: List[Tuple[int, int, slice]] = []
+        for position in range(num_positions):
+            for op_idx in range(num_ops):
+                layers = nas_space.op_layers(position, op_idx)
+                if not layers:
+                    continue  # Zero op contributes nothing.
+                start = len(all_layers)
+                all_layers.extend(layers)
+                owner_slices.append((position, op_idx, slice(start, len(all_layers))))
+
+        latency, energy, area = self.cost_model.evaluate_layer_batch(
+            LayerBatch(all_layers), self._config_batch
+        )
+        self.area = np.asarray(area, dtype=np.float64)
+
+        # Sequential per-layer accumulation preserves bit-identity with the
+        # scalar "latency += layer_latency" loops.
+        for row in range(len(fixed_layers)):
+            self.fixed_latency += latency[row]
+            self.fixed_energy += energy[row]
+        for position, op_idx, rows in owner_slices:
+            for row in range(rows.start, rows.stop):
+                self.op_latency[position, op_idx] += latency[row]
+                self.op_energy[position, op_idx] += energy[row]
+
+        get_logger("hwmodel.cost_table").info(
+            "CostTable built: %d positions x %d ops x %d configs (%d layer rows)",
+            num_positions,
+            num_ops,
+            num_configs,
+            len(all_layers),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived lookup tables (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def config_encodings(self) -> np.ndarray:
+        """(M, hw_width) one-hot encoding of every configuration."""
+        cached = getattr(self, "_config_encodings", None)
+        if cached is None:
+            cached = np.stack([self.hw_space.encode(config) for config in self.configs])
+            self._config_encodings = cached
+        return cached
+
+    @property
+    def config_class_indices(self) -> Dict[str, np.ndarray]:
+        """Per-field class index of every configuration, as (M,) int arrays."""
+        cached = getattr(self, "_config_class_indices", None)
+        if cached is None:
+            per_config = [self.hw_space.encode_indices(config) for config in self.configs]
+            cached = {
+                field: np.asarray([indices[field] for indices in per_config], dtype=np.int64)
+                for field in per_config[0]
+            }
+            self._config_class_indices = cached
+        return cached
+
+    def config_index(self, config: AcceleratorConfig) -> int:
+        """Position of ``config`` in :attr:`configs` (O(1) dict lookup)."""
+        try:
+            return self._config_index[config]
+        except KeyError:
+            raise ValueError(f"configuration {config} is not in the table") from None
+
+    # ------------------------------------------------------------------
+    # Fast evaluation
+    # ------------------------------------------------------------------
+    def metrics_per_config(self, op_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(latency, energy, area) arrays over every configuration for one architecture."""
+        indices = self.nas_space.validate_indices(op_indices)
+        latency = self.fixed_latency.copy()
+        energy = self.fixed_energy.copy()
+        for position, op_idx in enumerate(indices):
+            latency += self.op_latency[position, int(op_idx)]
+            energy += self.op_energy[position, int(op_idx)]
+        return latency, energy, self.area
+
+    def metrics_per_config_batch(
+        self, arch_indices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Metrics of B architectures over every configuration in one pass.
+
+        Parameters
+        ----------
+        arch_indices:
+            (B, num_searchable) integer op choices.
+
+        Returns
+        -------
+        tuple
+            ``(latency, energy, area)`` of shapes (B, M), (B, M) and (M,).
+        """
+        arch = np.asarray(arch_indices, dtype=np.int64)
+        if arch.ndim == 1:
+            arch = arch[None, :]
+        num_positions = self.nas_space.num_searchable
+        if arch.shape[1] != num_positions:
+            raise ValueError(
+                f"expected architectures of {num_positions} positions, got {arch.shape[1]}"
+            )
+        if np.any(arch < 0) or np.any(arch >= self.nas_space.num_ops):
+            raise ValueError("operation index out of range")
+        batch = arch.shape[0]
+        latency = np.tile(self.fixed_latency, (batch, 1))
+        energy = np.tile(self.fixed_energy, (batch, 1))
+        # Accumulate position by position (vectorised over architectures and
+        # configs) in the same order as the scalar path.
+        for position in range(num_positions):
+            latency += self.op_latency[position][arch[:, position]]
+            energy += self.op_energy[position][arch[:, position]]
+        return latency, energy, self.area
+
+    def costs_per_config(
+        self,
+        latency: np.ndarray,
+        energy: np.ndarray,
+        area: np.ndarray,
+        cost_function: CostFunction = edap_cost,
+    ) -> np.ndarray:
+        """Scalarised cost of precomputed metric arrays under ``cost_function``.
+
+        Vectorises cost functions that expose a ``batch_cost`` method (and the
+        default EDAP); anything else falls back to the per-config Python loop.
+        """
+        costs = _batched_cost_values(cost_function, latency, energy, area)
+        if costs is not None:
+            return costs
+        flat_latency = latency.reshape(-1)
+        flat_energy = energy.reshape(-1)
+        flat_area = np.broadcast_to(area, latency.shape).reshape(-1)
+        values = np.asarray(
+            [
+                cost_function(
+                    HardwareMetrics(flat_latency[i], flat_energy[i], flat_area[i])
+                )
+                for i in range(flat_latency.shape[0])
+            ],
+            dtype=np.float64,
+        )
+        return values.reshape(latency.shape)
+
+    def optimal_config(
+        self, op_indices: np.ndarray, cost_function: CostFunction = edap_cost
+    ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+        """Exhaustive-search the best configuration for one architecture."""
+        latency, energy, area = self.metrics_per_config(op_indices)
+        costs = self.costs_per_config(latency, energy, area, cost_function)
+        best = int(np.argmin(costs))
+        metrics = HardwareMetrics(latency[best], energy[best], area[best])
+        return self.configs[best], metrics
+
+    def optimal_configs_batch(
+        self, arch_indices: np.ndarray, cost_function: CostFunction = edap_cost
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Exhaustive-search the best configuration for B architectures at once.
+
+        Returns ``(best_config_indices, latency, energy, area)``: the winning
+        configuration index of each architecture (B,), plus that winner's
+        metrics as (B,) arrays.
+        """
+        latency, energy, area = self.metrics_per_config_batch(arch_indices)
+        costs = self.costs_per_config(latency, energy, area, cost_function)
+        best = np.argmin(costs, axis=1)
+        rows = np.arange(best.shape[0])
+        return best, latency[rows, best], energy[rows, best], self.area[best]
+
+    def metrics_for(self, op_indices: np.ndarray, config: AcceleratorConfig) -> HardwareMetrics:
+        """Metrics of one architecture on one specific configuration."""
+        latency, energy, area = self.metrics_per_config(op_indices)
+        config_index = self.config_index(config)
+        return HardwareMetrics(latency[config_index], energy[config_index], area[config_index])

@@ -34,8 +34,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.hwmodel.accelerator import AcceleratorConfig, Dataflow
-from repro.hwmodel.workload import ConvLayerShape
+import numpy as np
+
+from repro.hwmodel.accelerator import DATAFLOW_CODES, AcceleratorConfig, ConfigBatch, Dataflow
+from repro.hwmodel.workload import ConvLayerShape, LayerBatch
 
 
 @dataclass(frozen=True)
@@ -133,6 +135,134 @@ def analyze_mapping(layer: ConvLayerShape, config: AcceleratorConfig) -> Mapping
         input_fetches=float(input_fetches),
         weight_fetches=float(weight_fetches),
         output_fetches=float(output_fetches),
+        num_passes=passes,
+    )
+
+
+@dataclass(frozen=True)
+class MappingBatch:
+    """Mapping analysis of N layers x M configurations as (N, M) arrays.
+
+    Field-for-field batched counterpart of :class:`MappingResult`; every array
+    entry is bit-identical to the scalar :func:`analyze_mapping` output for
+    the corresponding (layer, config) pair.
+    """
+
+    spatial_utilization: np.ndarray
+    compute_cycles: np.ndarray
+    input_fetches: np.ndarray
+    weight_fetches: np.ndarray
+    output_fetches: np.ndarray
+    num_passes: np.ndarray
+
+    @property
+    def buffer_traffic_words(self) -> np.ndarray:
+        """Words moved between the global buffer and the PE array, per pair."""
+        return self.input_fetches + self.weight_fetches + self.output_fetches
+
+
+def _fold_utilization_array(extent: np.ndarray, array_dim: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_fold_utilization` (extents are always positive here)."""
+    folds = np.ceil(extent / array_dim)
+    return extent / (folds * array_dim)
+
+
+def _passes_array(stationary_words: np.ndarray, total_rf_words: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_passes`."""
+    return np.maximum(1.0, np.ceil(stationary_words / np.maximum(total_rf_words, 1)))
+
+
+def analyze_mapping_batch(layers: LayerBatch, configs: ConfigBatch) -> MappingBatch:
+    """Analyse every (layer, config) pair in one pass of numpy operations.
+
+    Returns (N, M) arrays where N = len(layers) and M = len(configs).  The
+    three dataflows are handled per config column, so each pair is computed
+    with exactly the formulas of the scalar :func:`analyze_mapping` branch it
+    would have taken.
+    """
+    num_layers = len(layers)
+    num_configs = len(configs)
+    shape = (num_layers, num_configs)
+
+    util_x = np.empty(shape)
+    util_y = np.empty(shape)
+    passes = np.empty(shape)
+    input_fetches = np.empty(shape)
+    weight_fetches = np.empty(shape)
+    output_fetches = np.empty(shape)
+
+    k = layers.column("k")
+    cpg = layers.column("channels_per_group")
+    out_h = layers.column("out_h")
+    out_w = layers.column("out_w")
+    r = layers.column("r")
+    c = layers.column("c")
+    w = layers.column("w")
+    input_size = layers.column("input_size")
+    weight_size = layers.column("weight_size")
+    output_size = layers.column("output_size")
+
+    for dataflow, code in DATAFLOW_CODES.items():
+        cols = np.flatnonzero(configs.dataflow_code == code)
+        if cols.size == 0:
+            continue
+        pe_x = configs.pe_x[cols][None, :]
+        pe_y = configs.pe_y[cols][None, :]
+        total_rf = configs.total_rf_words[cols][None, :]
+
+        if dataflow is Dataflow.WEIGHT_STATIONARY:
+            block_util_x = np.broadcast_to(_fold_utilization_array(k, pe_x), (num_layers, cols.size))
+            block_util_y = _fold_utilization_array(cpg, pe_y)
+            block_passes = _passes_array(weight_size, total_rf)
+            block_input = input_size * block_passes
+            block_weight = np.broadcast_to(
+                weight_size.astype(np.float64), (num_layers, cols.size)
+            )
+            channel_folds = np.ceil(cpg / pe_y)
+            block_output = output_size * np.maximum(1.0, channel_folds)
+        elif dataflow is Dataflow.OUTPUT_STATIONARY:
+            block_util_x = np.broadcast_to(
+                _fold_utilization_array(out_w, pe_x), (num_layers, cols.size)
+            )
+            block_util_y = _fold_utilization_array(out_h, pe_y)
+            block_passes = _passes_array(output_size, total_rf)
+            block_input = input_size * block_passes
+            block_weight = weight_size * block_passes
+            block_output = np.broadcast_to(
+                output_size.astype(np.float64), (num_layers, cols.size)
+            )
+        else:  # Dataflow.ROW_STATIONARY
+            row_folds = np.maximum(1, pe_y // np.maximum(r, 1))
+            block_util_x = np.broadcast_to(
+                _fold_utilization_array(out_h, pe_x), (num_layers, cols.size)
+            )
+            block_util_y = _fold_utilization_array(r * np.minimum(row_folds, k), pe_y)
+            row_working_set = c * r * w + weight_size
+            block_passes = _passes_array(row_working_set, total_rf)
+            refetch = 1.0 + 0.5 * (block_passes - 1)
+            block_input = input_size * refetch
+            block_weight = weight_size * refetch
+            block_output = np.broadcast_to(
+                output_size.astype(np.float64), (num_layers, cols.size)
+            )
+
+        util_x[:, cols] = block_util_x
+        util_y[:, cols] = block_util_y
+        passes[:, cols] = block_passes
+        input_fetches[:, cols] = block_input
+        weight_fetches[:, cols] = block_weight
+        output_fetches[:, cols] = block_output
+
+    utilization = np.maximum(util_x * util_y, 1e-6)
+    compute_cycles = layers.column("macs") / (configs.row("num_pes") * utilization)
+    compute_cycles += passes * (configs.pe_x + configs.pe_y)[None, :]
+
+    return MappingBatch(
+        spatial_utilization=utilization,
+        compute_cycles=compute_cycles,
+        input_fetches=input_fetches,
+        weight_fetches=weight_fetches,
+        output_fetches=output_fetches,
         num_passes=passes,
     )
 

@@ -8,11 +8,15 @@ the RF size a genuine trade-off rather than a free win.
 
 from __future__ import annotations
 
-from repro.hwmodel.accelerator import AcceleratorConfig
-from repro.hwmodel.dataflow import MappingResult, analyze_mapping
+from typing import Optional
+
+import numpy as np
+
+from repro.hwmodel.accelerator import AcceleratorConfig, ConfigBatch
+from repro.hwmodel.dataflow import MappingBatch, MappingResult, analyze_mapping, analyze_mapping_batch
 from repro.hwmodel.latency import LatencyModel
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
-from repro.hwmodel.workload import ConvLayerShape
+from repro.hwmodel.workload import ConvLayerShape, LayerBatch
 
 
 class EnergyModel:
@@ -35,7 +39,20 @@ class EnergyModel:
         return tech.rf_access_energy_pj + tech.rf_energy_per_word_pj * config.rf_size
 
     def layer_energy_mj(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
-        """Energy to execute one layer on ``config``, in millijoules."""
+        """Energy to execute one layer on ``config``, in millijoules.
+
+        Thin wrapper over the batched kernel (:meth:`batch_energy_mj`).
+        """
+        batch = self.batch_energy_mj(LayerBatch([layer]), ConfigBatch([config]))
+        return float(batch[0, 0])
+
+    def layer_energy_mj_reference(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
+        """Per-pair scalar energy (the pre-vectorisation reference path).
+
+        Kept as an independent implementation so parity tests and the perf
+        benchmarks can compare the batched kernels against the original
+        loop-based oracle.
+        """
         tech = self.technology
         mapping: MappingResult = analyze_mapping(layer, config)
 
@@ -50,9 +67,51 @@ class EnergyModel:
 
         leakage_mj = 0.0
         if self._area_model is not None:
-            latency_ms = self._latency_model.layer_latency_ms(layer, config)
+            latency_ms = self._latency_model.layer_latency_ms_reference(layer, config)
             area_mm2 = self._area_model.total_area_mm2(config)
             # leakage power (mW) * time (ms) = energy in microjoules; convert to mJ.
             leakage_mj = tech.leakage_mw_per_mm2 * area_mm2 * latency_ms * 1e-3
 
+        return dynamic_pj * 1e-9 + leakage_mj
+
+    # ------------------------------------------------------------------
+    # Batched (structure-of-arrays) entry point
+    # ------------------------------------------------------------------
+    def batch_rf_access_energy_pj(self, configs: ConfigBatch) -> np.ndarray:
+        """(M,) per-access register-file energy; vectorised :meth:`rf_access_energy_pj`."""
+        tech = self.technology
+        return tech.rf_access_energy_pj + tech.rf_energy_per_word_pj * configs.rf_size
+
+    def batch_energy_mj(
+        self,
+        layers: LayerBatch,
+        configs: ConfigBatch,
+        mapping: Optional[MappingBatch] = None,
+        latency_ms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """(N, M) per-layer energies in millijoules for N layers x M configs.
+
+        ``mapping`` and ``latency_ms`` may be passed in so one mapping
+        analysis / latency evaluation is shared across the cost models.
+        """
+        tech = self.technology
+        if mapping is None:
+            mapping = analyze_mapping_batch(layers, configs)
+
+        macs = layers.column("macs")
+        mac_energy = macs * tech.mac_energy_pj
+        rf_energy = 3.0 * macs * self.batch_rf_access_energy_pj(configs)[None, :]
+        buffer_energy = mapping.buffer_traffic_words * tech.buffer_access_energy_pj
+        dram_words = self._latency_model.batch_dram_traffic_words(layers, mapping)
+        dram_energy = dram_words * tech.dram_access_energy_pj
+
+        dynamic_pj = mac_energy + rf_energy + buffer_energy + dram_energy
+
+        if self._area_model is None:
+            return dynamic_pj * 1e-9
+        if latency_ms is None:
+            latency_ms = self._latency_model.batch_latency_ms(layers, configs, mapping=mapping)
+        area_mm2 = self._area_model.batch_area_mm2(configs)[None, :]
+        # leakage power (mW) * time (ms) = energy in microjoules; convert to mJ.
+        leakage_mj = tech.leakage_mw_per_mm2 * area_mm2 * latency_ms * 1e-3
         return dynamic_pj * 1e-9 + leakage_mj

@@ -58,37 +58,42 @@ class ExhaustiveHardwareGenerator:
         self.cost_model = cost_model or AcceleratorCostModel()
         self.cost_function = cost_function
 
+    def _score_space(
+        self, workload: Union[NetworkWorkload, List[ConvLayerShape]]
+    ) -> List[Tuple[float, AcceleratorConfig, HardwareMetrics]]:
+        """Network metrics + scalar cost of every configuration (one batched pass)."""
+        layers = list(workload)
+        if not layers:
+            raise ValueError("workload must contain at least one layer")
+        configs = self.search_space.config_list()
+        latency, energy, area = self.cost_model.evaluate_network_batch(
+            layers, self.search_space.config_batch()
+        )
+        scored: List[Tuple[float, AcceleratorConfig, HardwareMetrics]] = []
+        for index, config in enumerate(configs):
+            metrics = HardwareMetrics(
+                latency_ms=float(latency[index]),
+                energy_mj=float(energy[index]),
+                area_mm2=float(area[index]),
+            )
+            scored.append((self.cost_function(metrics), config, metrics))
+        return scored
+
     def generate(
         self, workload: Union[NetworkWorkload, List[ConvLayerShape]]
     ) -> GenerationResult:
         """Return the optimal accelerator for ``workload`` under the cost function."""
-        layers = list(workload)
-        if not layers:
-            raise ValueError("workload must contain at least one layer")
-        best: Optional[GenerationResult] = None
-        evaluations = 0
-        for config in self.search_space.enumerate():
-            metrics = self.cost_model.evaluate(layers, config)
-            cost = self.cost_function(metrics)
-            evaluations += 1
-            if best is None or cost < best.cost:
-                best = GenerationResult(
-                    config=config, metrics=metrics, cost=cost, evaluations=evaluations
-                )
-        assert best is not None  # the space is never empty
+        scored = self._score_space(workload)
+        best_cost, best_config, best_metrics = min(scored, key=lambda item: item[0])
         return GenerationResult(
-            config=best.config, metrics=best.metrics, cost=best.cost, evaluations=evaluations
+            config=best_config, metrics=best_metrics, cost=best_cost, evaluations=len(scored)
         )
 
     def top_k(
         self, workload: Union[NetworkWorkload, List[ConvLayerShape]], k: int = 5
     ) -> List[GenerationResult]:
         """Return the ``k`` best configurations (useful for robustness analyses)."""
-        layers = list(workload)
-        scored: List[Tuple[float, AcceleratorConfig, HardwareMetrics]] = []
-        for config in self.search_space.enumerate():
-            metrics = self.cost_model.evaluate(layers, config)
-            scored.append((self.cost_function(metrics), config, metrics))
+        scored = self._score_space(workload)
         scored.sort(key=lambda item: item[0])
         total = len(scored)
         return [

@@ -8,11 +8,14 @@ plus a per-pass pipeline overhead already folded into the mapping analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.hwmodel.accelerator import AcceleratorConfig
-from repro.hwmodel.dataflow import MappingResult, analyze_mapping
+import numpy as np
+
+from repro.hwmodel.accelerator import AcceleratorConfig, ConfigBatch
+from repro.hwmodel.dataflow import MappingBatch, MappingResult, analyze_mapping, analyze_mapping_batch
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
-from repro.hwmodel.workload import ConvLayerShape
+from repro.hwmodel.workload import ConvLayerShape, LayerBatch
 
 
 @dataclass(frozen=True)
@@ -61,8 +64,56 @@ class LatencyModel:
         )
 
     def layer_latency_ms(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
-        """Latency of one layer in milliseconds."""
+        """Latency of one layer in milliseconds (thin wrapper over the batched kernel)."""
+        batch = self.batch_latency_ms(LayerBatch([layer]), ConfigBatch([config]))
+        return float(batch[0, 0])
+
+    def layer_latency_ms_reference(self, layer: ConvLayerShape, config: AcceleratorConfig) -> float:
+        """Per-pair scalar latency (the pre-vectorisation reference path).
+
+        Kept as an independent implementation so parity tests and the perf
+        benchmarks can compare the batched kernels against the original
+        loop-based oracle.
+        """
         breakdown = self.layer_breakdown(layer, config)
         cycles = breakdown.total_cycles
+        nanoseconds = cycles / self.technology.clock_ghz
+        return nanoseconds * 1e-6
+
+    # ------------------------------------------------------------------
+    # Batched (structure-of-arrays) entry points
+    # ------------------------------------------------------------------
+    def batch_dram_traffic_words(
+        self, layers: LayerBatch, mapping: MappingBatch
+    ) -> np.ndarray:
+        """(N, M) DRAM traffic in words; vectorised :meth:`dram_traffic_words`."""
+        compulsory = layers.column("total_data").astype(np.float64)
+        working_set = compulsory
+        capacity = float(self.technology.buffer_capacity_words)
+        spill_fraction = np.minimum(1.0, np.maximum(0.0, (working_set - capacity) / working_set))
+        refetch_traffic = np.maximum(0.0, mapping.buffer_traffic_words - compulsory)
+        return compulsory + refetch_traffic * spill_fraction
+
+    def batch_latency_ms(
+        self,
+        layers: LayerBatch,
+        configs: ConfigBatch,
+        mapping: Optional[MappingBatch] = None,
+    ) -> np.ndarray:
+        """(N, M) per-layer latencies in milliseconds for N layers x M configs.
+
+        ``mapping`` may be passed in to share one mapping analysis between the
+        latency and energy models.
+        """
+        if mapping is None:
+            mapping = analyze_mapping_batch(layers, configs)
+        buffer_cycles = (
+            mapping.buffer_traffic_words / self.technology.buffer_bandwidth_words_per_cycle
+        )
+        dram_cycles = (
+            self.batch_dram_traffic_words(layers, mapping)
+            / self.technology.dram_bandwidth_words_per_cycle
+        )
+        cycles = np.maximum(np.maximum(mapping.compute_cycles, buffer_cycles), dram_cycles)
         nanoseconds = cycles / self.technology.clock_ghz
         return nanoseconds * 1e-6

@@ -9,7 +9,9 @@ what the accelerator cost model evaluates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -50,6 +52,29 @@ class ConvLayerShape:
             raise ValueError("channels must be divisible by groups")
         if self.r > self.h + self.r - 1 or self.s > self.w + self.s - 1:
             raise ValueError("filter cannot be larger than padded input")
+
+    def __hash__(self) -> int:
+        # Layers are used as memo keys in hot paths; hash the field tuple once
+        # and reuse it on every lookup.
+        try:
+            return self._cached_hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(
+                (
+                    self.name,
+                    self.n,
+                    self.c,
+                    self.h,
+                    self.w,
+                    self.k,
+                    self.r,
+                    self.s,
+                    self.stride,
+                    self.groups,
+                )
+            )
+            object.__setattr__(self, "_cached_hash", value)
+            return value
 
     # ------------------------------------------------------------------
     # Derived sizes
@@ -116,6 +141,84 @@ class ConvLayerShape:
             stride=self.stride,
             groups=self.groups,
         )
+
+
+class LayerBatch:
+    """Structure-of-arrays view of N convolution layers.
+
+    The batched cost kernels in :mod:`repro.hwmodel` evaluate N layers against
+    M accelerator configurations in one pass of numpy operations; this class
+    holds the per-layer shape fields — and every derived size the cost models
+    need — as parallel ``int64`` arrays so no per-layer Python dispatch is
+    required.  All derived quantities use exactly the same integer formulas as
+    the scalar :class:`ConvLayerShape` properties, so batched results are
+    bit-identical to the scalar path.
+    """
+
+    __slots__ = (
+        "layers",
+        "n",
+        "c",
+        "h",
+        "w",
+        "k",
+        "r",
+        "s",
+        "stride",
+        "groups",
+        "out_h",
+        "out_w",
+        "channels_per_group",
+        "macs",
+        "input_size",
+        "weight_size",
+        "output_size",
+        "total_data",
+    )
+
+    def __init__(self, layers: Sequence[ConvLayerShape]) -> None:
+        layers = list(layers)
+        if not layers:
+            raise ValueError("LayerBatch requires at least one layer")
+        self.layers: Tuple[ConvLayerShape, ...] = tuple(layers)
+        as_array = lambda attr: np.asarray(  # noqa: E731
+            [getattr(layer, attr) for layer in layers], dtype=np.int64
+        )
+        self.n = as_array("n")
+        self.c = as_array("c")
+        self.h = as_array("h")
+        self.w = as_array("w")
+        self.k = as_array("k")
+        self.r = as_array("r")
+        self.s = as_array("s")
+        self.stride = as_array("stride")
+        self.groups = as_array("groups")
+
+        # Derived sizes (identical formulas to the ConvLayerShape properties).
+        self.out_h = (self.h + 2 * (self.r // 2) - self.r) // self.stride + 1
+        self.out_w = (self.w + 2 * (self.s // 2) - self.s) // self.stride + 1
+        self.channels_per_group = self.c // self.groups
+        self.macs = (
+            self.n * self.k * self.channels_per_group * self.out_h * self.out_w * self.r * self.s
+        )
+        self.input_size = self.n * self.c * self.h * self.w
+        self.weight_size = self.k * self.channels_per_group * self.r * self.s
+        self.output_size = self.n * self.k * self.out_h * self.out_w
+        self.total_data = self.input_size + self.weight_size + self.output_size
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @classmethod
+    def from_layers(
+        cls, layers: Union["NetworkWorkload", Sequence[ConvLayerShape]]
+    ) -> "LayerBatch":
+        """Build a batch from a workload or any sequence of layers."""
+        return cls(list(layers))
+
+    def column(self, name: str) -> np.ndarray:
+        """A per-layer field or derived-size array shaped (N, 1) for broadcasting."""
+        return getattr(self, name)[:, None]
 
 
 @dataclass

@@ -1,0 +1,315 @@
+"""Parity and caching tests for the batched / table / memoised cost paths.
+
+The vectorised pipeline (LayerBatch x ConfigBatch kernels, the CostTable and
+the per-layer LRU memo) must produce **bit-identical** HardwareMetrics to the
+scalar reference oracle — the pre-vectorisation per-pair implementation kept
+as ``layer_latency_ms_reference`` / ``layer_energy_mj_reference``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hwmodel import (
+    AcceleratorConfig,
+    AcceleratorCostModel,
+    ConfigBatch,
+    ConvLayerShape,
+    CostTable,
+    Dataflow,
+    HardwareMetrics,
+    LayerBatch,
+    conv_layer,
+    edap_cost,
+    mbconv_layers,
+    tiny_search_space,
+)
+from repro.nas import build_cifar_search_space
+
+
+@pytest.fixture(scope="module")
+def layer_grid():
+    """A shape grid covering the behaviours the mapping analysis branches on."""
+    return [
+        conv_layer("plain3x3", 32, 64, 32, 3),
+        conv_layer("stem", 3, 32, 32, 3),
+        conv_layer("pointwise", 96, 160, 4, 1),
+        conv_layer("strided", 24, 48, 16, 3, stride=2),
+        ConvLayerShape("depthwise", n=1, c=64, h=32, w=32, k=64, r=5, s=5, groups=64),
+        ConvLayerShape("dw_strided", n=1, c=96, h=16, w=16, k=96, r=7, s=7, groups=96, stride=2),
+        conv_layer("batched", 48, 48, 8, 3, batch=4),
+    ]
+
+
+@pytest.fixture(scope="module")
+def config_grid():
+    """All dataflows crossed with extreme PE-array and RF sizes."""
+    return [
+        AcceleratorConfig(pe_x, pe_y, rf, dataflow)
+        for dataflow in Dataflow
+        for pe_x, pe_y in ((8, 8), (8, 24), (24, 8), (24, 24), (16, 16))
+        for rf in (4, 16, 64)
+    ]
+
+
+@pytest.fixture(scope="module")
+def batch_cost_model():
+    return AcceleratorCostModel()
+
+
+class TestBatchedKernelParity:
+    def test_layer_batch_matches_scalar_reference_bitwise(
+        self, batch_cost_model, layer_grid, config_grid
+    ):
+        latency, energy, area = batch_cost_model.evaluate_layer_batch(layer_grid, config_grid)
+        assert latency.shape == (len(layer_grid), len(config_grid))
+        for i, layer in enumerate(layer_grid):
+            for j, config in enumerate(config_grid):
+                assert latency[i, j] == batch_cost_model.latency_model.layer_latency_ms_reference(
+                    layer, config
+                )
+                assert energy[i, j] == batch_cost_model.energy_model.layer_energy_mj_reference(
+                    layer, config
+                )
+                assert area[j] == batch_cost_model.area_model.total_area_mm2(config)
+
+    def test_scalar_wrappers_match_reference_bitwise(
+        self, batch_cost_model, layer_grid, config_grid
+    ):
+        for layer in layer_grid[:3]:
+            for config in config_grid[:6]:
+                assert batch_cost_model.latency_model.layer_latency_ms(
+                    layer, config
+                ) == batch_cost_model.latency_model.layer_latency_ms_reference(layer, config)
+                assert batch_cost_model.energy_model.layer_energy_mj(
+                    layer, config
+                ) == batch_cost_model.energy_model.layer_energy_mj_reference(layer, config)
+
+    def test_network_batch_matches_sequential_accumulation(
+        self, batch_cost_model, layer_grid, config_grid
+    ):
+        latency, energy, area = batch_cost_model.evaluate_network_batch(layer_grid, config_grid)
+        for j, config in enumerate(config_grid):
+            expected_latency = 0.0
+            expected_energy = 0.0
+            for layer in layer_grid:
+                expected_latency += batch_cost_model.latency_model.layer_latency_ms_reference(
+                    layer, config
+                )
+                expected_energy += batch_cost_model.energy_model.layer_energy_mj_reference(
+                    layer, config
+                )
+            assert latency[j] == expected_latency
+            assert energy[j] == expected_energy
+        # The HardwareMetrics-returning wrapper goes through the same path.
+        metrics = batch_cost_model.evaluate(layer_grid, config_grid[0])
+        assert metrics.latency_ms == latency[0]
+        assert metrics.energy_mj == energy[0]
+        assert metrics.area_mm2 == area[0]
+
+    def test_mbconv_triplet_parity(self, batch_cost_model):
+        layers = mbconv_layers("mb", 48, 72, 16, 7, 6, stride=2)
+        config = AcceleratorConfig(16, 16, 16, "RS")
+        latency, energy, _ = batch_cost_model.evaluate_layer_batch(layers, [config])
+        for i, layer in enumerate(layers):
+            assert latency[i, 0] == batch_cost_model.latency_model.layer_latency_ms_reference(
+                layer, config
+            )
+            assert energy[i, 0] == batch_cost_model.energy_model.layer_energy_mj_reference(
+                layer, config
+            )
+
+    def test_empty_batches_rejected(self):
+        with pytest.raises(ValueError):
+            LayerBatch([])
+        with pytest.raises(ValueError):
+            ConfigBatch([])
+
+
+class TestCostTableParity:
+    @pytest.fixture(scope="class")
+    def nas_space(self):
+        return build_cifar_search_space()
+
+    @pytest.fixture(scope="class")
+    def table(self, nas_space):
+        return CostTable(nas_space, tiny_search_space())
+
+    def test_table_entries_match_scalar_reference_bitwise(self, nas_space, table):
+        cost_model = table.cost_model
+        for j, config in enumerate(table.configs[:9]):
+            expected_latency = 0.0
+            expected_energy = 0.0
+            for layer in nas_space.fixed_workload_layers():
+                expected_latency += cost_model.latency_model.layer_latency_ms_reference(
+                    layer, config
+                )
+                expected_energy += cost_model.energy_model.layer_energy_mj_reference(layer, config)
+            assert table.fixed_latency[j] == expected_latency
+            assert table.fixed_energy[j] == expected_energy
+            assert table.area[j] == cost_model.area_model.total_area_mm2(config)
+        for position, op_idx in ((0, 0), (3, 4), (8, 5)):
+            layers = nas_space.op_layers(position, op_idx)
+            for j, config in enumerate(table.configs[:5]):
+                expected = 0.0
+                for layer in layers:
+                    expected += cost_model.latency_model.layer_latency_ms_reference(layer, config)
+                assert table.op_latency[position, op_idx, j] == expected
+
+    def test_zero_op_rows_are_empty(self, nas_space, table):
+        from repro.nas import op_index
+
+        zero = op_index("zero")
+        assert np.all(table.op_latency[:, zero, :] == 0.0)
+        assert np.all(table.op_energy[:, zero, :] == 0.0)
+
+    def test_batch_labeling_matches_per_arch_oracle(self, nas_space, table):
+        rng = np.random.default_rng(7)
+        archs = rng.integers(0, nas_space.num_ops, size=(32, nas_space.num_searchable))
+        best, latency, energy, area = table.optimal_configs_batch(archs)
+        for i in range(archs.shape[0]):
+            config, metrics = table.optimal_config(archs[i])
+            assert table.configs[best[i]] == config
+            assert latency[i] == metrics.latency_ms
+            assert energy[i] == metrics.energy_mj
+            assert area[i] == metrics.area_mm2
+
+    def test_batch_labeling_supports_cost_function_objects(self, nas_space, table):
+        from repro.core.cost_functions import LinearCostFunction
+
+        cost_function = LinearCostFunction(2.0, 3.0, 0.5)
+        rng = np.random.default_rng(11)
+        archs = rng.integers(0, nas_space.num_ops, size=(8, nas_space.num_searchable))
+        best, latency, energy, area = table.optimal_configs_batch(
+            archs, cost_function=cost_function.scalar
+        )
+        for i in range(archs.shape[0]):
+            config, metrics = table.optimal_config(archs[i], cost_function=cost_function.scalar)
+            assert table.configs[best[i]] == config
+            assert latency[i] == metrics.latency_ms
+
+    def test_opaque_cost_function_falls_back_to_loop(self, nas_space, table):
+        def latency_only(metrics: HardwareMetrics) -> float:
+            return metrics.latency_ms
+
+        arch = np.zeros(nas_space.num_searchable, dtype=np.int64)
+        config, metrics = table.optimal_config(arch, cost_function=latency_only)
+        latency, energy, area = table.metrics_per_config(arch)
+        best = int(np.argmin(latency))
+        assert config == table.configs[best]
+        assert metrics.latency_ms == latency[best]
+
+    def test_metrics_for_unknown_config_rejected(self, nas_space, table):
+        arch = np.zeros(nas_space.num_searchable, dtype=np.int64)
+        with pytest.raises(ValueError):
+            table.metrics_for(arch, AcceleratorConfig(9, 9, 5, "WS"))
+
+    def test_config_luts_match_encodings(self, table):
+        encodings = table.config_encodings
+        class_indices = table.config_class_indices
+        for j in (0, len(table.configs) // 2, len(table.configs) - 1):
+            config = table.configs[j]
+            assert np.array_equal(encodings[j], table.hw_space.encode(config))
+            expected = table.hw_space.encode_indices(config)
+            for field, value in expected.items():
+                assert class_indices[field][j] == value
+
+
+class TestLayerMemo:
+    def test_cache_hits_on_repeat_queries(self):
+        cost_model = AcceleratorCostModel()
+        layer = conv_layer("memo", 16, 32, 16, 3)
+        config = AcceleratorConfig(16, 16, 16, "WS")
+        assert cost_model.cache_info().hits == 0
+        first = cost_model.evaluate_layer(layer, config)
+        assert cost_model.cache_info().misses == 1
+        second = cost_model.evaluate_layer(layer, config)
+        info = cost_model.cache_info()
+        assert info.hits == 1 and info.misses == 1
+        assert first is second  # served from the memo, not recomputed
+
+        # An equal-but-distinct key also hits (hash/eq based, not identity).
+        twin = conv_layer("memo", 16, 32, 16, 3)
+        cost_model.evaluate_layer(twin, AcceleratorConfig(16, 16, 16, "WS"))
+        assert cost_model.cache_info().hits == 2
+
+        cost_model.cache_clear()
+        assert cost_model.cache_info().currsize == 0
+
+    def test_cache_can_be_disabled(self):
+        cost_model = AcceleratorCostModel(cache_size=0)
+        layer = conv_layer("memo", 16, 32, 16, 3)
+        config = AcceleratorConfig(16, 16, 16, "WS")
+        assert cost_model.cache_info() is None
+        first = cost_model.evaluate_layer(layer, config)
+        second = cost_model.evaluate_layer(layer, config)
+        assert first == second and first is not second
+
+    def test_keys_are_cheaply_hashable(self):
+        layer = conv_layer("h", 16, 32, 16, 3)
+        config = AcceleratorConfig(16, 16, 16, "RS")
+        assert hash(layer) == hash(conv_layer("h", 16, 32, 16, 3))
+        assert hash(config) == hash(AcceleratorConfig(16, 16, 16, "RS"))
+        # The cached value is stored on first use and stays consistent.
+        assert hash(layer) == hash(layer)
+        assert layer._cached_hash == hash(layer)  # type: ignore[attr-defined]
+
+
+class TestDatasetGenerationParity:
+    def test_vectorised_labeling_matches_loop(self):
+        """The batched dataset path reproduces the historical per-sample loop."""
+        from repro.evaluator import generate_evaluator_dataset
+        from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
+        from repro.utils.seeding import as_rng
+
+        nas_space = build_cifar_search_space()
+        hw_space = tiny_search_space()
+        table = CostTable(nas_space, hw_space)
+        num_samples = 64
+
+        dataset = generate_evaluator_dataset(
+            nas_space, hw_space, num_samples=num_samples, cost_table=table, rng=123
+        )
+
+        # Reference: the original sample-at-a-time loop.
+        generator = as_rng(123)
+        encoding = EvaluatorEncoding(nas_space=nas_space, hw_space=hw_space)
+        for sample_index in range(num_samples):
+            op_indices = nas_space.random_architecture(rng=generator)
+            best_config, best_metrics = table.optimal_config(op_indices, cost_function=edap_cost)
+            arch_one_hot = encoding.encode_architecture(op_indices)
+            if generator.uniform() < 0.25:
+                matrix = arch_one_hot.reshape(nas_space.num_searchable, nas_space.num_ops)
+                noise = generator.dirichlet(
+                    np.ones(nas_space.num_ops), size=nas_space.num_searchable
+                )
+                soft = 4.0 * matrix + noise
+                soft = soft / soft.sum(axis=1, keepdims=True)
+                expected_arch = soft.reshape(-1)
+            else:
+                expected_arch = arch_one_hot
+            assert np.array_equal(dataset.arch_encodings[sample_index], expected_arch)
+            assert np.array_equal(
+                dataset.hw_encodings[sample_index], encoding.encode_hardware(best_config)
+            )
+            for field_name, class_index in encoding.hardware_class_indices(best_config).items():
+                assert dataset.hw_class_indices[field_name][sample_index] == class_index
+            assert np.array_equal(
+                dataset.metric_targets[sample_index], encoding.metrics_to_vector(best_metrics)
+            )
+
+    def test_chunked_labeling_is_chunk_size_invariant(self):
+        from repro.evaluator import generate_evaluator_dataset
+
+        nas_space = build_cifar_search_space()
+        hw_space = tiny_search_space()
+        table = CostTable(nas_space, hw_space)
+        small = generate_evaluator_dataset(
+            nas_space, hw_space, num_samples=40, cost_table=table, rng=5, label_chunk_size=7
+        )
+        large = generate_evaluator_dataset(
+            nas_space, hw_space, num_samples=40, cost_table=table, rng=5, label_chunk_size=4096
+        )
+        assert np.array_equal(small.metric_targets, large.metric_targets)
+        assert np.array_equal(small.hw_encodings, large.hw_encodings)
