@@ -30,8 +30,14 @@ from repro.core import (
     format_results_table,
 )
 from repro.evaluator import Evaluator, train_evaluator
+from repro.experiments import Runner
 
 from bench_utils import print_section, report
+
+# All searches go through the shared orchestration step loop (no workdir, so
+# nothing is written to disk); the Runner drives setup/step/finish exactly as
+# the `python -m repro` CLI does.
+RUNNER = Runner()
 
 PAPER_TABLE2_EDAP = {
     "Baseline (No penalty) + HW": {"acc": 94.5, "latency": 13.5, "energy": 5.0, "edap": 133.1},
@@ -69,28 +75,38 @@ def table2_results(
     cost_function = EDAPCostFunction()
 
     results = {}
-    results["Baseline (No penalty) + HW"] = BaselineSearcher(
-        cifar_nas_space,
-        cifar_cost_table,
-        hw_cost_function=cost_function,
-        config=BaselineConfig(
-            search_epochs=budget.search_epochs, batch_size=32, final_training=final_training_config
+    results["Baseline (No penalty) + HW"] = RUNNER.execute(
+        BaselineSearcher(
+            cifar_nas_space,
+            cifar_cost_table,
+            hw_cost_function=cost_function,
+            config=BaselineConfig(
+                search_epochs=budget.search_epochs, batch_size=32, final_training=final_training_config
+            ),
+            rng=100,
         ),
-        rng=100,
-    ).search(train_images, val_images, method_name="Baseline (No penalty) + HW")
+        train_images,
+        val_images,
+        method_name="Baseline (No penalty) + HW",
+    )
 
-    results["Baseline (Flops penalty) + HW"] = BaselineSearcher(
-        cifar_nas_space,
-        cifar_cost_table,
-        hw_cost_function=cost_function,
-        config=BaselineConfig(
-            search_epochs=budget.search_epochs,
-            batch_size=32,
-            flops_penalty=2.0,
-            final_training=final_training_config,
+    results["Baseline (Flops penalty) + HW"] = RUNNER.execute(
+        BaselineSearcher(
+            cifar_nas_space,
+            cifar_cost_table,
+            hw_cost_function=cost_function,
+            config=BaselineConfig(
+                search_epochs=budget.search_epochs,
+                batch_size=32,
+                flops_penalty=2.0,
+                final_training=final_training_config,
+            ),
+            rng=101,
         ),
-        rng=101,
-    ).search(train_images, val_images, method_name="Baseline (Flops penalty) + HW")
+        train_images,
+        val_images,
+        method_name="Baseline (Flops penalty) + HW",
+    )
 
     # DANCE without feature forwarding needs its own (no-FF) evaluator.
     train_eval, val_eval = cifar_evaluator_data
@@ -103,32 +119,47 @@ def table2_results(
         cost_epochs=budget.evaluator_cost_epochs,
         rng=103,
     )
-    results["DANCE (w/o FF)"] = DanceSearcher(
-        cifar_nas_space,
-        no_ff_evaluator,
-        cifar_cost_table,
-        cost_function=cost_function,
-        config=_dance_config(budget, final_training_config, lambda_2=1.0),
-        rng=104,
-    ).search(train_images, val_images, method_name="DANCE (w/o FF)")
+    results["DANCE (w/o FF)"] = RUNNER.execute(
+        DanceSearcher(
+            cifar_nas_space,
+            no_ff_evaluator,
+            cifar_cost_table,
+            cost_function=cost_function,
+            config=_dance_config(budget, final_training_config, lambda_2=1.0),
+            rng=104,
+        ),
+        train_images,
+        val_images,
+        method_name="DANCE (w/o FF)",
+    )
 
-    results["DANCE (w/ FF)-A"] = DanceSearcher(
-        cifar_nas_space,
-        trained_cifar_evaluator,
-        cifar_cost_table,
-        cost_function=cost_function,
-        config=_dance_config(budget, final_training_config, lambda_2=0.5),
-        rng=105,
-    ).search(train_images, val_images, method_name="DANCE (w/ FF)-A")
+    results["DANCE (w/ FF)-A"] = RUNNER.execute(
+        DanceSearcher(
+            cifar_nas_space,
+            trained_cifar_evaluator,
+            cifar_cost_table,
+            cost_function=cost_function,
+            config=_dance_config(budget, final_training_config, lambda_2=0.5),
+            rng=105,
+        ),
+        train_images,
+        val_images,
+        method_name="DANCE (w/ FF)-A",
+    )
 
-    results["DANCE (w/ FF)-B"] = DanceSearcher(
-        cifar_nas_space,
-        trained_cifar_evaluator,
-        cifar_cost_table,
-        cost_function=cost_function,
-        config=_dance_config(budget, final_training_config, lambda_2=4.0, arch_lr=2e-2),
-        rng=106,
-    ).search(train_images, val_images, method_name="DANCE (w/ FF)-B")
+    results["DANCE (w/ FF)-B"] = RUNNER.execute(
+        DanceSearcher(
+            cifar_nas_space,
+            trained_cifar_evaluator,
+            cifar_cost_table,
+            cost_function=cost_function,
+            config=_dance_config(budget, final_training_config, lambda_2=4.0, arch_lr=2e-2),
+            rng=106,
+        ),
+        train_images,
+        val_images,
+        method_name="DANCE (w/ FF)-B",
+    )
 
     print_section("Table 2 (CostHW = EDAP) — reproduced")
     report(format_results_table(list(results.values())))

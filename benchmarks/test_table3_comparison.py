@@ -31,7 +31,13 @@ from repro.core import (
     format_comparison_table,
 )
 
+from repro.experiments import Runner
+
 from bench_utils import print_section, report
+
+# Both comparison searches run through the shared orchestration step loop,
+# exactly as a `python -m repro run` would drive them (no workdir: in-memory).
+RUNNER = Runner()
 
 PAPER_TABLE3 = [
     ("Hao et al. 2019 (FPGA/DNN co-design)", "68.6% IoU", "N/A", 68, "CD"),
@@ -55,33 +61,43 @@ def comparison_results(
     train_images, val_images = cifar_images
     final_training = ClassifierTrainingConfig(epochs=budget.final_epochs, batch_size=32)
 
-    dance = DanceSearcher(
-        cifar_nas_space,
-        trained_cifar_evaluator,
-        cifar_cost_table,
-        cost_function=EDAPCostFunction(),
-        config=DanceConfig(
-            search_epochs=budget.search_epochs,
-            batch_size=32,
-            lambda_2=0.5,
-            warmup_epochs=1,
-            final_training=final_training,
+    dance = RUNNER.execute(
+        DanceSearcher(
+            cifar_nas_space,
+            trained_cifar_evaluator,
+            cifar_cost_table,
+            cost_function=EDAPCostFunction(),
+            config=DanceConfig(
+                search_epochs=budget.search_epochs,
+                batch_size=32,
+                lambda_2=0.5,
+                warmup_epochs=1,
+                final_training=final_training,
+            ),
+            rng=200,
         ),
-        rng=200,
-    ).search(train_images, val_images, method_name="DANCE (ours, gradient)")
+        train_images,
+        val_images,
+        method_name="DANCE (ours, gradient)",
+    )
 
-    rl = RLCoExplorationSearcher(
-        cifar_nas_space,
-        hw_space,
-        cifar_cost_table,
-        cost_function=EDAPCostFunction(),
-        config=RLCoExplorationConfig(
-            num_candidates=budget.rl_candidates,
-            candidate_training=ClassifierTrainingConfig(epochs=1, batch_size=32),
-            final_training=final_training,
+    rl = RUNNER.execute(
+        RLCoExplorationSearcher(
+            cifar_nas_space,
+            hw_space,
+            cifar_cost_table,
+            cost_function=EDAPCostFunction(),
+            config=RLCoExplorationConfig(
+                num_candidates=budget.rl_candidates,
+                candidate_training=ClassifierTrainingConfig(epochs=1, batch_size=32),
+                final_training=final_training,
+            ),
+            rng=201,
         ),
-        rng=201,
-    ).search(train_images, val_images, method_name="RL co-exploration (comparator)")
+        train_images,
+        val_images,
+        method_name="RL co-exploration (comparator)",
+    )
 
     print_section("Table 3 — reproduced comparison (shared environment)")
     report(format_comparison_table([rl, dance]))

@@ -28,9 +28,13 @@ from repro.core import (
 )
 from repro.data import make_imagenet_like, train_val_split
 from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
+from repro.experiments import Runner
 from repro.nas import build_imagenet_search_space
 
 from bench_utils import print_section, report
+
+# Searches are driven by the shared orchestration step loop (in-memory).
+RUNNER = Runner()
 
 PAPER_TABLE4 = {
     "Baseline + HW": {"acc": 70.6, "latency": 10.3, "energy": 43.0, "edap": 1212.6},
@@ -70,30 +74,40 @@ def table4_results(imagenet_setup, budget):
     final_training = ClassifierTrainingConfig(epochs=budget.final_epochs, batch_size=32)
     cost_function = EDAPCostFunction()
 
-    baseline = BaselineSearcher(
-        nas_space,
-        cost_table,
-        hw_cost_function=cost_function,
-        config=BaselineConfig(
-            search_epochs=budget.search_epochs, batch_size=32, final_training=final_training
+    baseline = RUNNER.execute(
+        BaselineSearcher(
+            nas_space,
+            cost_table,
+            hw_cost_function=cost_function,
+            config=BaselineConfig(
+                search_epochs=budget.search_epochs, batch_size=32, final_training=final_training
+            ),
+            rng=310,
         ),
-        rng=310,
-    ).search(train_images, val_images, method_name="Baseline + HW")
+        train_images,
+        val_images,
+        method_name="Baseline + HW",
+    )
 
-    dance = DanceSearcher(
-        nas_space,
-        evaluator,
-        cost_table,
-        cost_function=cost_function,
-        config=DanceConfig(
-            search_epochs=budget.search_epochs,
-            batch_size=32,
-            lambda_2=2.0,
-            warmup_epochs=1,
-            final_training=final_training,
+    dance = RUNNER.execute(
+        DanceSearcher(
+            nas_space,
+            evaluator,
+            cost_table,
+            cost_function=cost_function,
+            config=DanceConfig(
+                search_epochs=budget.search_epochs,
+                batch_size=32,
+                lambda_2=2.0,
+                warmup_epochs=1,
+                final_training=final_training,
+            ),
+            rng=311,
         ),
-        rng=311,
-    ).search(train_images, val_images, method_name="DANCE (w/ FF)")
+        train_images,
+        val_images,
+        method_name="DANCE (w/ FF)",
+    )
 
     print_section("Table 4 (ImageNet-proxy) — reproduced")
     report(format_results_table([baseline, dance]))

@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""CIFAR-like co-exploration: the Table-2 experiment as a runnable script.
+"""CIFAR-like co-exploration: the Table-2 experiment as one Runner sweep.
 
 Runs the separate-design baselines (ProxylessNAS without / with a FLOPs
 penalty, each followed by post-hoc exact hardware generation) and DANCE with
 feature forwarding under a chosen hardware cost function, then prints the
 Table-2 style comparison.
+
+All driver logic lives in the orchestration layer; this script only builds
+the configs.  The equivalent command line is::
+
+    python -m repro sweep --methods baseline baseline_flops dance \
+        --set cost=edap --set search_epochs=4
 
 Usage::
 
@@ -17,20 +23,8 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.core import (
-    BaselineConfig,
-    BaselineSearcher,
-    ClassifierTrainingConfig,
-    DanceConfig,
-    DanceSearcher,
-    format_results_table,
-    get_cost_function,
-)
-from repro.data import make_cifar_like, train_val_split
-from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
-from repro.hwmodel import tiny_search_space
-from repro.nas import build_cifar_search_space
-from repro.utils.seeding import seed_everything
+from repro.core import format_results_table
+from repro.experiments import ExperimentConfig, Runner
 
 
 def main() -> None:
@@ -45,72 +39,37 @@ def main() -> None:
     parser.add_argument("--eval-samples", type=int, default=2500)
     parser.add_argument("--image-samples", type=int, default=400)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs-dir", default="runs/table2", help="where checkpoints/results are written")
     args = parser.parse_args()
 
-    seed_everything(args.seed)
-    if args.cost == "linear":
-        # The paper's linear-cost hyper-parameters (lambda_L, lambda_E, lambda_A).
-        cost_function = get_cost_function("linear", lambda_latency=4.1, lambda_energy=4.8, lambda_area=1.0)
-    else:
-        cost_function = get_cost_function("edap")
-
-    nas_space = build_cifar_search_space()
-    hw_space = tiny_search_space()
-    final_training = ClassifierTrainingConfig(epochs=args.final_epochs, batch_size=32)
-
-    print("[1/4] Preparing the oracle cost table and the evaluator training data ...")
-    cost_table = LayerCostTable(nas_space, hw_space)
-    dataset = generate_evaluator_dataset(
-        nas_space, hw_space, num_samples=args.eval_samples, cost_table=cost_table, rng=args.seed
+    base = ExperimentConfig(
+        task="cifar",
+        seed=args.seed,
+        cost=args.cost,
+        search_epochs=args.search_epochs,
+        final_epochs=args.final_epochs,
+        evaluator_samples=args.eval_samples,
+        image_samples=args.image_samples,
     )
-    train_eval, val_eval = dataset.split(0.85, rng=args.seed + 1)
-
-    print("[2/4] Training the differentiable evaluator ...")
-    evaluator = Evaluator(nas_space, hw_space, feature_forwarding=True, rng=args.seed + 2)
-    train_evaluator(evaluator, train_eval, val_eval, hw_epochs=40, cost_epochs=70, rng=args.seed + 3)
-
-    print("[3/4] Preparing the (synthetic) CIFAR-like classification task ...")
-    images = make_cifar_like(num_samples=args.image_samples, resolution=8, rng=args.seed + 4)
-    train_images, val_images = train_val_split(images, val_fraction=0.25, rng=args.seed + 5)
-
-    print("[4/4] Running the searches ...")
+    runner = Runner(base_dir=args.runs_dir)
     results = []
     start = time.time()
 
-    for flops_penalty, name in ((0.0, "Baseline (No penalty) + HW"), (2.0, "Baseline (Flops penalty) + HW")):
-        print(f"    {name} ...")
-        searcher = BaselineSearcher(
-            nas_space,
-            cost_table,
-            hw_cost_function=cost_function,
-            config=BaselineConfig(
-                search_epochs=args.search_epochs,
-                batch_size=32,
-                flops_penalty=flops_penalty,
-                final_training=final_training,
-            ),
-            rng=args.seed + 10,
-        )
-        results.append(searcher.search(train_images, val_images, method_name=name))
+    for method in ("baseline", "baseline_flops"):
+        print(f"    {base.replace(method=method).method_name} ...")
+        results.append(runner.run(base.replace(method=method)))
 
-    for index, lambda_2 in enumerate(args.lambda2):
+    for lambda_2 in args.lambda2:
+        config = base.replace(method="dance", lambda_2=lambda_2)
         name = f"DANCE (w/ FF, lambda2={lambda_2:g})"
         print(f"    {name} ...")
-        searcher = DanceSearcher(
-            nas_space,
-            evaluator,
-            cost_table,
-            cost_function=cost_function,
-            config=DanceConfig(
-                search_epochs=args.search_epochs,
-                batch_size=32,
-                lambda_2=lambda_2,
-                warmup_epochs=1,
-                final_training=final_training,
-            ),
-            rng=args.seed + 20 + index,
+        results.append(
+            runner.run(
+                config,
+                workdir=runner.base_dir / f"dance-lambda{lambda_2:g}-seed{args.seed}",
+                method_name=name,
+            )
         )
-        results.append(searcher.search(train_images, val_images, method_name=name))
 
     print()
     print(format_results_table(results, title=f"Co-exploration on CIFAR-like data (Cost_HW = {args.cost})"))

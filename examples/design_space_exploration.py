@@ -4,10 +4,12 @@
 This example uses only the hardware substrate (no NAS, no evaluator): it
 enumerates the full Eyeriss-style design space for a chosen architecture,
 reports the latency / energy / area / EDAP landscape, the Pareto-optimal
-configurations, and how the optimal dataflow changes between an early
-(large feature map, few channels) and a late (small feature map, many
-channels) layer — the interaction that motivates co-exploration in the
-paper's introduction.
+configurations (via :func:`repro.hwmodel.pareto_front`), and how the optimal
+dataflow changes between an early (large feature map, few channels) and a
+late (small feature map, many channels) layer — the interaction that
+motivates co-exploration in the paper's introduction.
+
+See docs/cost_model.md for the cost-pipeline API this example drives.
 
 Usage::
 
@@ -17,7 +19,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-from typing import List, Tuple
 
 import numpy as np
 
@@ -26,33 +27,10 @@ from repro.hwmodel import (
     AcceleratorCostModel,
     ConvLayerShape,
     HardwareSearchSpace,
-    HardwareMetrics,
     analyze_mapping,
+    pareto_front,
 )
 from repro.nas import build_cifar_search_space, op_index
-
-
-def pareto_front(points: List[Tuple[AcceleratorConfig, HardwareMetrics]]):
-    """Return the (latency, energy, area)-Pareto-optimal configurations."""
-    front = []
-    for config, metrics in points:
-        dominated = False
-        for _, other in points:
-            if (
-                other.latency_ms <= metrics.latency_ms
-                and other.energy_mj <= metrics.energy_mj
-                and other.area_mm2 <= metrics.area_mm2
-                and (
-                    other.latency_ms < metrics.latency_ms
-                    or other.energy_mj < metrics.energy_mj
-                    or other.area_mm2 < metrics.area_mm2
-                )
-            ):
-                dominated = True
-                break
-        if not dominated:
-            front.append((config, metrics))
-    return front
 
 
 def main() -> None:
@@ -103,7 +81,6 @@ def main() -> None:
     early_layer = ConvLayerShape("early", n=1, c=32, h=32, w=32, k=32, r=3, s=3)
     late_layer = ConvLayerShape("late", n=1, c=96, h=8, w=8, k=96, r=3, s=3)
     depthwise = ConvLayerShape("depthwise", n=1, c=96, h=8, w=8, k=96, r=3, s=3, groups=96)
-    probe = AcceleratorConfig(16, 16, 16, "WS")
     print("\nSpatial utilisation by dataflow (PE 16x16, RF 16):")
     print(f"  {'layer':<12}{'WS':>8}{'OS':>8}{'RS':>8}")
     for layer in (early_layer, late_layer, depthwise):

@@ -3,7 +3,10 @@
 
 This example focuses on the paper's core contribution in isolation: modelling
 the (non-differentiable) hardware generation + cost estimation toolchain with
-neural networks.  It
+neural networks.  Component assembly goes through the experiment factory
+(:mod:`repro.experiments.factory`), so the spaces, oracle dataset and seeds
+are exactly the ones a ``python -m repro run --method dance`` search uses.
+It
 
 1. generates oracle ground truth (random architectures -> optimal accelerator
    + its latency/energy/area) using the exhaustive search over H,
@@ -23,20 +26,26 @@ from __future__ import annotations
 import argparse
 import time
 
-import numpy as np
-
 from repro.evaluator import (
-    Evaluator,
     HW_FIELD_ORDER,
-    LayerCostTable,
     METRIC_ORDER,
     generate_evaluator_dataset,
     train_cost_estimation_network,
     train_evaluator,
 )
 from repro.evaluator.cost_estimation_net import CostEstimationNetwork
-from repro.hwmodel import ExhaustiveHardwareGenerator, HardwareSearchSpace, tiny_search_space
-from repro.nas import build_cifar_search_space
+from repro.evaluator import Evaluator
+from repro.experiments import ExperimentConfig
+from repro.experiments.factory import (
+    SEED_EVAL_DATA,
+    SEED_EVAL_INIT,
+    SEED_EVAL_SPLIT,
+    SEED_EVAL_TRAIN,
+    build_hw_space,
+    build_search_space,
+)
+from repro.hwmodel import ExhaustiveHardwareGenerator
+from repro.hwmodel.cost_model import CostTable
 
 
 def main() -> None:
@@ -52,36 +61,49 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
-    nas_space = build_cifar_search_space()
-    hw_space = HardwareSearchSpace() if args.full_hw_space else tiny_search_space()
+    config = ExperimentConfig(
+        seed=args.seed,
+        hw_space="full" if args.full_hw_space else "tiny",
+        evaluator_samples=args.samples,
+        evaluator_hw_epochs=args.hw_epochs,
+        evaluator_cost_epochs=args.cost_epochs,
+    )
+    nas_space = build_search_space(config)
+    hw_space = build_hw_space(config)
     print(f"Architecture space: {nas_space.num_searchable} searchable layers x {nas_space.num_ops} ops")
     print(f"Hardware space    : {len(hw_space)} configurations, encoding width {hw_space.encoding_width}")
 
     print("\n[1/3] Building the layer cost table and generating oracle ground truth ...")
     start = time.time()
-    cost_table = LayerCostTable(nas_space, hw_space)
+    cost_table = CostTable(nas_space, hw_space)
     dataset = generate_evaluator_dataset(
-        nas_space, hw_space, num_samples=args.samples, cost_table=cost_table, rng=args.seed
+        nas_space,
+        hw_space,
+        num_samples=config.evaluator_samples,
+        cost_table=cost_table,
+        rng=config.seed + SEED_EVAL_DATA,
     )
-    train_data, val_data = dataset.split(0.85, rng=args.seed + 1)
+    train_data, val_data = dataset.split(0.85, rng=config.seed + SEED_EVAL_SPLIT)
     print(f"    {len(dataset)} samples in {time.time() - start:.1f}s "
           f"({len(train_data)} train / {len(val_data)} validation)")
 
     print("\n[2/3] Training the evaluator (with feature forwarding) ...")
-    evaluator = Evaluator(nas_space, hw_space, feature_forwarding=True, rng=args.seed + 2)
+    evaluator = Evaluator(
+        nas_space, hw_space, feature_forwarding=True, rng=config.seed + SEED_EVAL_INIT
+    )
     result = train_evaluator(
         evaluator,
         train_data,
         val_data,
-        hw_epochs=args.hw_epochs,
-        cost_epochs=args.cost_epochs,
-        rng=args.seed + 3,
+        hw_epochs=config.evaluator_hw_epochs,
+        cost_epochs=config.evaluator_cost_epochs,
+        rng=config.seed + SEED_EVAL_TRAIN,
     )
 
     print("\n    Training a no-feature-forwarding cost estimation network for comparison ...")
-    no_ff = CostEstimationNetwork(dataset.encoding, feature_forwarding=False, rng=args.seed + 4)
+    no_ff = CostEstimationNetwork(dataset.encoding, feature_forwarding=False, rng=args.seed + 10)
     no_ff_history = train_cost_estimation_network(
-        no_ff, train_data, val_data, epochs=args.cost_epochs, rng=args.seed + 5
+        no_ff, train_data, val_data, epochs=config.evaluator_cost_epochs, rng=args.seed + 11
     )
 
     print("\n[3/3] Table-1 style summary (validation accuracy)")

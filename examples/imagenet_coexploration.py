@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""ImageNet-scale co-exploration: the Table-4 experiment as a runnable script.
+"""ImageNet-scale co-exploration: the Table-4 experiment as one Runner sweep.
 
 Same flow as ``examples/cifar_coexploration.py`` but on the ImageNet-proxy
 configuration: an ImageNet-scaled layer geometry for the hardware cost (so
 latency / energy land several times above the CIFAR numbers) and a 20-class
 synthetic dataset for the accuracy side.  Reproduces the Table-4 comparison:
 Baseline + post-hoc hardware vs DANCE with feature forwarding.
+
+The equivalent command line is::
+
+    python -m repro sweep --methods baseline dance \
+        --set task=imagenet --set lambda_2=2.0
 
 Usage::
 
@@ -17,20 +22,8 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.core import (
-    BaselineConfig,
-    BaselineSearcher,
-    ClassifierTrainingConfig,
-    DanceConfig,
-    DanceSearcher,
-    EDAPCostFunction,
-    format_results_table,
-)
-from repro.data import make_imagenet_like, train_val_split
-from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
-from repro.hwmodel import tiny_search_space
-from repro.nas import build_imagenet_search_space
-from repro.utils.seeding import seed_everything
+from repro.core import format_results_table
+from repro.experiments import ExperimentConfig, Runner
 
 
 def main() -> None:
@@ -42,65 +35,27 @@ def main() -> None:
     parser.add_argument("--image-samples", type=int, default=400)
     parser.add_argument("--num-classes", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--runs-dir", default="runs/table4", help="where checkpoints/results are written")
     args = parser.parse_args()
 
-    seed_everything(args.seed)
-    nas_space = build_imagenet_search_space(num_classes=args.num_classes)
-    hw_space = tiny_search_space()
-    cost_function = EDAPCostFunction()
-    final_training = ClassifierTrainingConfig(epochs=args.final_epochs, batch_size=32)
-
-    print("[1/4] Building the ImageNet-scale oracle cost table ...")
-    cost_table = LayerCostTable(nas_space, hw_space)
-    heavy = nas_space.random_architecture(rng=args.seed, allow_zero=False)
-    _, reference_metrics = cost_table.optimal_config(heavy)
-    print(f"    reference architecture at its optimal accelerator: "
-          f"{reference_metrics.latency_ms:.2f} ms, {reference_metrics.energy_mj:.2f} mJ, "
-          f"EDAP {reference_metrics.edap:.1f}")
-
-    print("[2/4] Training the differentiable evaluator ...")
-    dataset = generate_evaluator_dataset(
-        nas_space, hw_space, num_samples=args.eval_samples, cost_table=cost_table, rng=args.seed + 1
+    base = ExperimentConfig(
+        task="imagenet",
+        seed=args.seed,
+        num_classes=args.num_classes,
+        lambda_2=args.lambda2,
+        search_epochs=args.search_epochs,
+        final_epochs=args.final_epochs,
+        evaluator_samples=args.eval_samples,
+        image_samples=args.image_samples,
     )
-    train_eval, val_eval = dataset.split(0.85, rng=args.seed + 2)
-    evaluator = Evaluator(nas_space, hw_space, feature_forwarding=True, rng=args.seed + 3)
-    train_evaluator(evaluator, train_eval, val_eval, hw_epochs=40, cost_epochs=70, rng=args.seed + 4)
+    runner = Runner(base_dir=args.runs_dir)
 
-    print("[3/4] Preparing the synthetic ImageNet-proxy classification task ...")
-    images = make_imagenet_like(
-        num_samples=args.image_samples, resolution=8, num_classes=args.num_classes, rng=args.seed + 5
-    )
-    train_images, val_images = train_val_split(images, val_fraction=0.25, rng=args.seed + 6)
-
-    print("[4/4] Running Baseline + HW and DANCE (w/ FF) ...")
+    print("Running Baseline + HW and DANCE (w/ FF) on the ImageNet-proxy task ...")
     start = time.time()
-    baseline = BaselineSearcher(
-        nas_space,
-        cost_table,
-        hw_cost_function=cost_function,
-        config=BaselineConfig(
-            search_epochs=args.search_epochs, batch_size=32, final_training=final_training
-        ),
-        rng=args.seed + 10,
-    ).search(train_images, val_images, method_name="Baseline + HW")
-
-    dance = DanceSearcher(
-        nas_space,
-        evaluator,
-        cost_table,
-        cost_function=cost_function,
-        config=DanceConfig(
-            search_epochs=args.search_epochs,
-            batch_size=32,
-            lambda_2=args.lambda2,
-            warmup_epochs=1,
-            final_training=final_training,
-        ),
-        rng=args.seed + 11,
-    ).search(train_images, val_images, method_name="DANCE (w/ FF)")
+    results = runner.sweep(base, methods=["baseline", "dance"], seeds=[args.seed])
 
     print()
-    print(format_results_table([baseline, dance], title="Co-exploration on the ImageNet-proxy task"))
+    print(format_results_table(results, title="Co-exploration on the ImageNet-proxy task"))
     print(f"\nTotal wall-clock time: {time.time() - start:.1f}s")
     print("Expected shape (paper Table 4): DANCE finds a design with clearly lower")
     print("latency / energy / EDAP than the separately-designed baseline, at a small")

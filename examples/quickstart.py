@@ -1,18 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: end-to-end DANCE co-exploration in one script.
+"""Quickstart: end-to-end DANCE co-exploration through the experiment Runner.
 
-Runs the complete pipeline at miniature scale (a few minutes on a laptop CPU):
+Runs the complete pipeline at miniature scale (well under a minute on a
+laptop CPU): oracle cost table -> evaluator training -> differentiable
+co-exploration -> one-time exact hardware generation -> final training.
 
-1. Build the ProxylessNAS-style architecture space A and the Eyeriss-style
-   hardware space H.
-2. Generate oracle ground truth with the analytical Timeloop/Accelergy-like
-   cost model and train the differentiable evaluator (hardware generation
-   network + cost estimation network with feature forwarding).
-3. Run the differentiable co-exploration: the supernet learns to classify the
-   synthetic CIFAR-like data while the architecture parameters are pushed by
-   the evaluator's hardware-cost gradient.
-4. Derive the final architecture, run the one-time exact hardware generation,
-   retrain the derived network and report accuracy / latency / energy / EDAP.
+This script is a thin wrapper over the orchestration layer — it builds an
+:class:`repro.experiments.ExperimentConfig` and hands it to the
+:class:`repro.experiments.Runner`.  The equivalent command line is::
+
+    python -m repro run --method dance --seed 0
+
+(see docs/cli.md for the full CLI reference, including checkpoint/resume).
 
 Usage::
 
@@ -24,8 +23,8 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro import quick_coexploration
 from repro.core import format_results_table
+from repro.experiments import ExperimentConfig, Runner
 
 
 def main() -> None:
@@ -38,13 +37,19 @@ def main() -> None:
         default=800,
         help="number of oracle samples used to train the evaluator network",
     )
+    parser.add_argument("--runs-dir", default="runs", help="where checkpoints/results are written")
     args = parser.parse_args()
+
+    config = ExperimentConfig(
+        method="dance",
+        seed=args.seed,
+        search_epochs=args.epochs,
+        evaluator_samples=args.eval_samples,
+    )
 
     print("Running the miniature DANCE co-exploration pipeline...")
     start = time.time()
-    result = quick_coexploration(
-        seed=args.seed, search_epochs=args.epochs, num_eval_samples=args.eval_samples
-    )
+    result = Runner(base_dir=args.runs_dir).run(config)
     elapsed = time.time() - start
 
     print()
@@ -54,8 +59,8 @@ def main() -> None:
     print(f"Selected accelerator             : {result.hardware.as_dict()}")
     print(f"Total wall-clock time            : {elapsed:.1f}s")
     print()
-    print("Next steps: see examples/cifar_coexploration.py for the full Table-2 style")
-    print("experiment and examples/design_space_exploration.py for the hardware space sweep.")
+    print("Next steps: python -m repro sweep --methods baseline baseline_flops dance")
+    print("reproduces the Table-2 comparison; see docs/cli.md for the full CLI.")
 
 
 if __name__ == "__main__":

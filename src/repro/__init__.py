@@ -20,6 +20,10 @@ Package layout
 ``repro.data``
     Synthetic image-classification datasets standing in for CIFAR-10 and
     ImageNet in this offline environment.
+``repro.experiments``
+    The experiment-orchestration layer: the shared ``Searcher`` protocol,
+    ``ExperimentConfig``, and the ``Runner`` with checkpoint / bit-identical
+    resume and multi-method sweeps (CLI: ``python -m repro``).
 
 Quick start
 -----------
@@ -28,7 +32,7 @@ Quick start
 >>> print(result.metrics.edap)                 # doctest: +SKIP
 """
 
-from repro import autograd, core, data, evaluator, hwmodel, nas, utils
+from repro import autograd, core, data, evaluator, experiments, hwmodel, nas, utils
 
 __version__ = "0.1.0"
 
@@ -80,6 +84,7 @@ __all__ = [
     "core",
     "data",
     "evaluator",
+    "experiments",
     "hwmodel",
     "nas",
     "utils",

@@ -1,0 +1,147 @@
+"""``python -m repro`` — the experiment-orchestration command line.
+
+Subcommands (full reference with examples in ``docs/cli.md``):
+
+* ``run``    — launch one configured search (periodically checkpointed);
+* ``resume`` — continue a killed/paused run bit-identically from its
+  checkpoint (defaults to the most recent unfinished run);
+* ``sweep``  — run a methods x seeds grid and write a combined report;
+* ``report`` — render all saved results as the paper-style tables.
+
+Examples::
+
+    python -m repro run --method dance --seed 0
+    python -m repro resume
+    python -m repro sweep --methods baseline baseline_flops dance --seeds 0 1
+    python -m repro report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.results import format_results_table
+from repro.experiments import METHODS, ExperimentConfig, Runner
+
+
+def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", help="JSON file with a full ExperimentConfig (CLI flags override it)"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override any ExperimentConfig field, e.g. --set search_epochs=4",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Launch, resume and sweep co-exploration experiments.",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="base directory holding run working directories (default: runs)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="launch one configured search run")
+    run.add_argument("--method", choices=sorted(METHODS), help="search method (default: dance)")
+    run.add_argument("--seed", type=int, help="seed of the whole experiment (default: 0)")
+    run.add_argument("--epochs", type=int, help="shorthand for --set search_epochs=N")
+    run.add_argument("--workdir", help="run directory (default: <runs-dir>/<config name>)")
+    run.add_argument(
+        "--max-steps",
+        type=int,
+        help="pause (checkpoint and exit) after this many steps — resume continues",
+    )
+    run.add_argument(
+        "--no-retrain",
+        action="store_true",
+        help="skip the final from-scratch retraining (accuracy reported as NaN)",
+    )
+    _add_common_run_options(run)
+
+    resume = subparsers.add_parser("resume", help="continue a checkpointed run")
+    resume.add_argument(
+        "--workdir", help="run directory (default: most recent unfinished run under --runs-dir)"
+    )
+    resume.add_argument("--max-steps", type=int, help="pause again after this many steps")
+
+    sweep = subparsers.add_parser("sweep", help="run a methods x seeds grid")
+    sweep.add_argument(
+        "--methods", nargs="+", choices=sorted(METHODS), default=["dance"], help="methods to run"
+    )
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[0], help="seeds to run")
+    _add_common_run_options(sweep)
+
+    report = subparsers.add_parser("report", help="render all saved results as tables")
+    report.add_argument("--workdir", help="directory to scan (default: --runs-dir)")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.load(args.config) if args.config else ExperimentConfig()
+    if getattr(args, "method", None):
+        config = config.replace(method=args.method)
+    if getattr(args, "seed", None) is not None:
+        config = config.replace(seed=args.seed)
+    if getattr(args, "epochs", None) is not None:
+        config = config.replace(search_epochs=args.epochs)
+    if getattr(args, "no_retrain", False):
+        config = config.replace(retrain_final=False)
+    for override in args.overrides:
+        key, separator, raw_value = override.partition("=")
+        if not separator:
+            raise SystemExit(f"--set expects KEY=VALUE, got {override!r}")
+        config = config.apply_override(key, raw_value)
+    return config
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    runner = Runner(base_dir=args.runs_dir)
+
+    if args.command == "run":
+        config = _config_from_args(args)
+        result = runner.run(config, workdir=args.workdir, max_steps=args.max_steps)
+        workdir = args.workdir or runner.workdir_for(config)
+        if result is None:
+            print(f"Paused after --max-steps; resume with: python -m repro resume --workdir {workdir}")
+            return 0
+        print(format_results_table([result], title=f"Run {config.name}"))
+        print(f"Result saved to {workdir}")
+        return 0
+
+    if args.command == "resume":
+        result = runner.resume(workdir=args.workdir, max_steps=args.max_steps)
+        if result is None:
+            print("Paused again after --max-steps; rerun: python -m repro resume")
+            return 0
+        print(format_results_table([result], title="Resumed run"))
+        return 0
+
+    if args.command == "sweep":
+        config = _config_from_args(args)
+        results = runner.sweep(config, methods=args.methods, seeds=args.seeds)
+        print(runner.format_report(results, title=f"Sweep ({len(results)} runs)"))
+        print(f"Report saved to {runner.base_dir / 'REPORT.txt'}")
+        return 0
+
+    if args.command == "report":
+        print(runner.report(root=args.workdir))
+        return 0
+
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,34 @@ class Optimizer:
         """Apply one update; subclasses must override."""
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, object]:
+        """Checkpointable optimiser state; subclasses extend this.
+
+        Per-parameter slots (momentum buffers etc.) are keyed by the
+        parameter's position in the optimiser's parameter list, which is
+        stable across processes — unlike the ``id()`` keys used internally.
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state produced by :meth:`state_dict` on the same parameter list."""
+        self.lr = float(state["lr"])
+
+    def _slots_by_index(self, slots: Dict[int, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Re-key an ``id(param)``-indexed slot dict by parameter position."""
+        return {
+            str(index): slots[id(param)]
+            for index, param in enumerate(self.parameters)
+            if id(param) in slots
+        }
+
+    def _slots_from_index(self, state: Dict[str, np.ndarray]) -> Dict[int, np.ndarray]:
+        """Inverse of :meth:`_slots_by_index`."""
+        return {
+            id(self.parameters[int(index)]): np.asarray(value, dtype=np.float64)
+            for index, value in state.items()
+        }
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with momentum, Nesterov and weight decay."""
@@ -74,6 +102,15 @@ class SGD(Optimizer):
                     grad = buf
             param.data -= self.lr * grad
 
+    def state_dict(self) -> Dict[str, object]:  # noqa: D102 - see Optimizer.state_dict
+        state = super().state_dict()
+        state["velocity"] = self._slots_by_index(self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:  # noqa: D102
+        super().load_state_dict(state)
+        self._velocity = self._slots_from_index(state["velocity"])
+
 
 class Adam(Optimizer):
     """Adam optimiser (Kingma & Ba) with optional decoupled weight decay."""
@@ -111,3 +148,16 @@ class Adam(Optimizer):
             m_hat = m / (1 - self.beta1**self._t)
             v_hat = v / (1 - self.beta2**self._t)
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:  # noqa: D102 - see Optimizer.state_dict
+        state = super().state_dict()
+        state["m"] = self._slots_by_index(self._m)
+        state["v"] = self._slots_by_index(self._v)
+        state["t"] = self._t
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:  # noqa: D102
+        super().load_state_dict(state)
+        self._m = self._slots_from_index(state["m"])
+        self._v = self._slots_from_index(state["v"])
+        self._t = int(state["t"])

@@ -5,13 +5,18 @@ search the network with a hardware-agnostic differentiable NAS (optionally
 regularised by expected FLOPs), and only afterwards run the exhaustive
 hardware generation tool on the searched network.  The crucial difference
 from DANCE is that the hardware never influences the architecture search.
+
+:class:`BaselineSearcher` implements the shared stepwise
+:class:`repro.experiments.base.Searcher` protocol (setup / step / finish /
+state_dict), so baseline runs are launched, checkpointed and resumed by the
+same :class:`repro.experiments.runner.Runner` as every other method.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -32,6 +37,7 @@ from repro.nas.search_space import NASSearchSpace
 from repro.nas.supernet import DerivedNetwork, SuperNet
 from repro.utils.logging import get_logger
 from repro.utils.seeding import as_rng
+from repro.utils.serialization import restore_rng, rng_state
 
 logger = get_logger("core.baselines")
 
@@ -68,7 +74,135 @@ class BaselineSearcher:
         self.hw_cost_function = hw_cost_function or EDAPCostFunction()
         self.config = config or BaselineConfig()
         self.flops_model = FlopsModel(search_space)
+        self.method_name = self._default_method_name()
         self._rng = as_rng(rng)
+        self._ready = False
+
+    def _default_method_name(self) -> str:
+        if self.config.flops_penalty > 0:
+            return "Baseline (Flops penalty) + HW"
+        return "Baseline (No penalty) + HW"
+
+    # ------------------------------------------------------------------
+    # Stepwise search protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Total number of search steps (one per epoch)."""
+        return self.config.search_epochs
+
+    @property
+    def steps_completed(self) -> int:
+        """Number of search epochs already run."""
+        return self._epoch if self._ready else 0
+
+    def setup(self, train_set: ImageClassificationDataset, val_set: ImageClassificationDataset) -> None:
+        """Build all mutable run state (networks, optimisers, loaders)."""
+        start = time.time()
+        config = self.config
+        self._train_set = train_set
+        self._val_set = val_set
+        self._supernet = SuperNet(self.search_space, rng=self._rng)
+        self._arch_params = ArchitectureParameters(self.search_space, rng=self._rng)
+        self._weight_optimizer = SGD(
+            self._supernet.parameters(),
+            lr=config.weight_lr,
+            momentum=config.weight_momentum,
+            weight_decay=config.weight_decay,
+            nesterov=True,
+        )
+        self._weight_scheduler = CosineAnnealingLR(
+            self._weight_optimizer, t_max=max(config.search_epochs, 1)
+        )
+        self._arch_optimizer = Adam([self._arch_params.alpha], lr=config.arch_lr)
+        self._train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
+        self._val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
+        self._history: List[Dict[str, float]] = []
+        self._epoch = 0
+        self._elapsed = time.time() - start
+        self._ready = True
+
+    def step(self) -> Dict[str, float]:
+        """Run one hardware-agnostic search epoch."""
+        config = self.config
+        start = time.time()
+        epoch = self._epoch
+        self._weight_scheduler.step(epoch)
+        val_iter = iter(self._val_loader)
+        epoch_ce: List[float] = []
+        for images, labels in self._train_loader:
+            gates = self._arch_params.sample_gumbel(
+                temperature=config.gumbel_temperature, hard=True, rng=self._rng
+            )
+            logits = self._supernet(Tensor(images), gates)
+            weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+            self._weight_optimizer.zero_grad()
+            self._arch_params.zero_grad()
+            weight_loss.backward()
+            self._weight_optimizer.step()
+            epoch_ce.append(weight_loss.item())
+
+            try:
+                val_images, val_labels = next(val_iter)
+            except StopIteration:
+                val_iter = iter(self._val_loader)
+                val_images, val_labels = next(val_iter)
+            gates = self._arch_params.sample_gumbel(
+                temperature=config.gumbel_temperature, hard=True, rng=self._rng
+            )
+            arch_loss = cross_entropy(
+                self._supernet(Tensor(val_images), gates), val_labels,
+                label_smoothing=config.label_smoothing,
+            )
+            if config.flops_penalty > 0:
+                expected_flops = self.flops_model.normalized_expected_flops(
+                    self._arch_params.probabilities_tensor()
+                )
+                arch_loss = arch_loss + expected_flops * config.flops_penalty
+            self._arch_optimizer.zero_grad()
+            self._weight_optimizer.zero_grad()
+            arch_loss.backward()
+            self._arch_optimizer.step()
+
+        record = {
+            "epoch": float(epoch),
+            "train_ce": float(np.mean(epoch_ce)) if epoch_ce else float("nan"),
+            "entropy": self._arch_params.entropy(),
+        }
+        self._history.append(record)
+        self._epoch += 1
+        self._elapsed += time.time() - start
+        return record
+
+    def finish(self, retrain_final: bool = True) -> SearchResult:
+        """Derive the network, run post-hoc HW generation and score the design."""
+        config = self.config
+        derived = derive_architecture(self.search_space, self._arch_params)
+        # Post-hoc, one-time exact hardware generation (the separate-design flow).
+        best_config, oracle_metrics = self.cost_table.optimal_config(
+            derived.op_indices, cost_function=self.hw_cost_function.scalar
+        )
+        if retrain_final:
+            final_network = DerivedNetwork(self.search_space, derived.op_indices, rng=self._rng)
+            final_accuracy = train_classifier(
+                final_network, self._train_set, self._val_set, config.final_training, rng=self._rng
+            )
+        else:
+            final_accuracy = float("nan")
+        logger.info(
+            "%s: arch=%s acc=%.3f edap=%.2f",
+            self.method_name, derived.op_names, final_accuracy, oracle_metrics.edap,
+        )
+        return SearchResult(
+            method=self.method_name,
+            op_indices=derived.op_indices,
+            accuracy=final_accuracy,
+            hardware=best_config,
+            metrics=oracle_metrics,
+            search_seconds=self._elapsed,
+            candidates_trained=1,
+            history=self._history,
+        )
 
     def search(
         self,
@@ -78,97 +212,39 @@ class BaselineSearcher:
         retrain_final: bool = True,
     ) -> SearchResult:
         """Run the baseline NAS and score its design with post-hoc hardware."""
-        config = self.config
-        if method_name is None:
-            method_name = (
-                "Baseline (Flops penalty) + HW" if config.flops_penalty > 0 else "Baseline (No penalty) + HW"
-            )
-        start_time = time.time()
+        self.method_name = method_name if method_name is not None else self._default_method_name()
+        self.setup(train_set, val_set)
+        while self.steps_completed < self.num_steps:
+            self.step()
+        return self.finish(retrain_final=retrain_final)
 
-        supernet = SuperNet(self.search_space, rng=self._rng)
-        arch_params = ArchitectureParameters(self.search_space, rng=self._rng)
-        weight_optimizer = SGD(
-            supernet.parameters(),
-            lr=config.weight_lr,
-            momentum=config.weight_momentum,
-            weight_decay=config.weight_decay,
-            nesterov=True,
-        )
-        weight_scheduler = CosineAnnealingLR(weight_optimizer, t_max=max(config.search_epochs, 1))
-        arch_optimizer = Adam([arch_params.alpha], lr=config.arch_lr)
-        train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
-        val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
-        history: List[Dict[str, float]] = []
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full mutable state of a running search (call after :meth:`setup`)."""
+        return {
+            "method_name": self.method_name,
+            "epoch": self._epoch,
+            "elapsed_seconds": self._elapsed,
+            "history": self._history,
+            "rng": rng_state(self._rng),
+            "supernet": self._supernet.state_dict(),
+            "arch_params": self._arch_params.state_dict(),
+            "weight_optimizer": self._weight_optimizer.state_dict(),
+            "arch_optimizer": self._arch_optimizer.state_dict(),
+        }
 
-        for epoch in range(config.search_epochs):
-            weight_scheduler.step(epoch)
-            val_iter = iter(val_loader)
-            epoch_ce: List[float] = []
-            for images, labels in train_loader:
-                gates = arch_params.sample_gumbel(
-                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
-                )
-                logits = supernet(Tensor(images), gates)
-                weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
-                weight_optimizer.zero_grad()
-                arch_params.zero_grad()
-                weight_loss.backward()
-                weight_optimizer.step()
-                epoch_ce.append(weight_loss.item())
-
-                try:
-                    val_images, val_labels = next(val_iter)
-                except StopIteration:
-                    val_iter = iter(val_loader)
-                    val_images, val_labels = next(val_iter)
-                gates = arch_params.sample_gumbel(
-                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
-                )
-                arch_loss = cross_entropy(
-                    supernet(Tensor(val_images), gates), val_labels,
-                    label_smoothing=config.label_smoothing,
-                )
-                if config.flops_penalty > 0:
-                    expected_flops = self.flops_model.normalized_expected_flops(
-                        arch_params.probabilities_tensor()
-                    )
-                    arch_loss = arch_loss + expected_flops * config.flops_penalty
-                arch_optimizer.zero_grad()
-                weight_optimizer.zero_grad()
-                arch_loss.backward()
-                arch_optimizer.step()
-
-            history.append(
-                {
-                    "epoch": float(epoch),
-                    "train_ce": float(np.mean(epoch_ce)) if epoch_ce else float("nan"),
-                    "entropy": arch_params.entropy(),
-                }
-            )
-
-        search_seconds = time.time() - start_time
-        derived = derive_architecture(self.search_space, arch_params)
-        # Post-hoc, one-time exact hardware generation (the separate-design flow).
-        best_config, oracle_metrics = self.cost_table.optimal_config(
-            derived.op_indices, cost_function=self.hw_cost_function.scalar
-        )
-        if retrain_final:
-            final_network = DerivedNetwork(self.search_space, derived.op_indices, rng=self._rng)
-            final_accuracy = train_classifier(
-                final_network, train_set, val_set, config.final_training, rng=self._rng
-            )
-        else:
-            final_accuracy = float("nan")
-        logger.info(
-            "%s: arch=%s acc=%.3f edap=%.2f", method_name, derived.op_names, final_accuracy, oracle_metrics.edap
-        )
-        return SearchResult(
-            method=method_name,
-            op_indices=derived.op_indices,
-            accuracy=final_accuracy,
-            hardware=best_config,
-            metrics=oracle_metrics,
-            search_seconds=search_seconds,
-            candidates_trained=1,
-            history=history,
-        )
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into an already-set-up searcher."""
+        if not self._ready:
+            raise RuntimeError("call setup() before load_state_dict()")
+        self.method_name = state["method_name"]
+        self._epoch = int(state["epoch"])
+        self._elapsed = float(state["elapsed_seconds"])
+        self._history = list(state["history"])
+        restore_rng(state["rng"], into=self._rng)
+        self._supernet.load_state_dict(state["supernet"])
+        self._arch_params.load_state_dict(state["arch_params"])
+        self._weight_optimizer.load_state_dict(state["weight_optimizer"])
+        self._arch_optimizer.load_state_dict(state["arch_optimizer"])

@@ -15,13 +15,21 @@ One search run alternates, within each epoch, between
 After the search, the most likely architecture is derived, a one-time exact
 hardware generation is run with the oracle (as the paper does), and the
 derived network is retrained from scratch to measure accuracy.
+
+:class:`DanceSearcher` implements the shared stepwise
+:class:`repro.experiments.base.Searcher` protocol: :meth:`~DanceSearcher.setup`
+builds the run state, each :meth:`~DanceSearcher.step` runs one search epoch,
+:meth:`~DanceSearcher.finish` derives and scores the final design, and
+:meth:`~DanceSearcher.state_dict` / :meth:`~DanceSearcher.load_state_dict`
+round-trip every piece of mutable state (parameters, optimiser slots, RNG
+stream) so an interrupted run resumes bit-identically.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -44,6 +52,7 @@ from repro.nas.search_space import NASSearchSpace
 from repro.nas.supernet import DerivedNetwork, SuperNet
 from repro.utils.logging import get_logger
 from repro.utils.seeding import as_rng
+from repro.utils.serialization import restore_rng, rng_state
 
 logger = get_logger("core.co_explore")
 
@@ -83,14 +92,137 @@ class DanceSearcher:
         self.cost_table = cost_table
         self.cost_function = cost_function or EDAPCostFunction()
         self.config = config or DanceConfig()
+        self.method_name = "DANCE"
         self._rng = as_rng(rng)
+        self._ready = False
         # The evaluator is pre-trained and frozen during search (Section 3.2).
         self.evaluator.eval()
         self.evaluator.freeze()
 
     # ------------------------------------------------------------------
-    # Search
+    # Stepwise search protocol
     # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Total number of search steps (one per epoch)."""
+        return self.config.search_epochs
+
+    @property
+    def steps_completed(self) -> int:
+        """Number of search epochs already run."""
+        return self._epoch if self._ready else 0
+
+    def setup(self, train_set: ImageClassificationDataset, val_set: ImageClassificationDataset) -> None:
+        """Build all mutable run state (networks, optimisers, loaders)."""
+        start = time.time()
+        config = self.config
+        self._train_set = train_set
+        self._val_set = val_set
+        self._supernet = SuperNet(self.search_space, rng=self._rng)
+        self._arch_params = ArchitectureParameters(self.search_space, rng=self._rng)
+        self._weight_optimizer = SGD(
+            self._supernet.parameters(),
+            lr=config.weight_lr,
+            momentum=config.weight_momentum,
+            weight_decay=config.weight_decay,
+            nesterov=True,
+        )
+        self._weight_scheduler = CosineAnnealingLR(
+            self._weight_optimizer, t_max=max(config.search_epochs, 1)
+        )
+        self._arch_optimizer = Adam([self._arch_params.alpha], lr=config.arch_lr)
+        self._warmup = LambdaWarmup(target=config.lambda_2, warmup_epochs=config.warmup_epochs)
+        self._combined_loss = CoExplorationLoss(
+            self.cost_function,
+            label_smoothing=config.label_smoothing,
+            cost_normalizer=self._reference_cost(),
+        )
+        self._train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
+        self._val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
+        self._history: List[Dict[str, float]] = []
+        self._epoch = 0
+        self._elapsed = time.time() - start
+        self._ready = True
+
+    def step(self) -> Dict[str, float]:
+        """Run one search epoch (weight + architecture updates) and log it."""
+        config = self.config
+        start = time.time()
+        epoch = self._epoch
+        self._weight_scheduler.step(epoch)
+        lambda_2 = self._warmup.value(epoch)
+        val_iter = iter(self._val_loader)
+        epoch_ce: List[float] = []
+        epoch_hw: List[float] = []
+        for step, (images, labels) in enumerate(self._train_loader):
+            # ---- weight step on the training batch --------------------
+            gates = self._arch_params.sample_gumbel(
+                temperature=config.gumbel_temperature, hard=True, rng=self._rng
+            )
+            logits = self._supernet(Tensor(images), gates)
+            weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+            self._weight_optimizer.zero_grad()
+            self._arch_params.zero_grad()
+            weight_loss.backward()
+            self._weight_optimizer.step()
+            epoch_ce.append(weight_loss.item())
+
+            # ---- architecture step on a validation batch --------------
+            if step % config.arch_update_period != 0:
+                continue
+            try:
+                val_images, val_labels = next(val_iter)
+            except StopIteration:
+                val_iter = iter(self._val_loader)
+                val_images, val_labels = next(val_iter)
+            gates = self._arch_params.sample_gumbel(
+                temperature=config.gumbel_temperature, hard=True, rng=self._rng
+            )
+            val_logits = self._supernet(Tensor(val_images), gates)
+            predicted_metrics = self.evaluator(self._arch_params.encoding_tensor(), rng=self._rng)
+            arch_loss = self._combined_loss(
+                val_logits, val_labels, predicted_metrics, lambda_2=lambda_2
+            )
+            self._arch_optimizer.zero_grad()
+            self._weight_optimizer.zero_grad()
+            arch_loss.backward()
+            self._arch_optimizer.step()
+            epoch_hw.append(
+                self.cost_function(predicted_metrics).item() / self._combined_loss.cost_normalizer
+            )
+
+        record = {
+            "epoch": float(epoch),
+            "lambda_2": lambda_2,
+            "train_ce": float(np.mean(epoch_ce)) if epoch_ce else float("nan"),
+            "hw_cost": float(np.mean(epoch_hw)) if epoch_hw else float("nan"),
+            "entropy": self._arch_params.entropy(),
+        }
+        self._history.append(record)
+        logger.info(
+            "epoch %d: ce=%.3f hw=%.3f lambda2=%.3f entropy=%.3f",
+            epoch,
+            record["train_ce"],
+            record["hw_cost"],
+            lambda_2,
+            record["entropy"],
+        )
+        self._epoch += 1
+        self._elapsed += time.time() - start
+        return record
+
+    def finish(self, retrain_final: bool = True) -> SearchResult:
+        """Derive, score and (optionally) retrain the final design."""
+        return self.finalize(
+            self._arch_params,
+            self._train_set,
+            self._val_set,
+            method_name=self.method_name,
+            search_seconds=self._elapsed,
+            history=self._history,
+            retrain_final=retrain_final,
+        )
+
     def search(
         self,
         train_set: ImageClassificationDataset,
@@ -99,102 +231,46 @@ class DanceSearcher:
         retrain_final: bool = True,
     ) -> SearchResult:
         """Run the co-exploration and return the scored final design."""
-        config = self.config
-        start_time = time.time()
+        self.method_name = method_name
+        self.setup(train_set, val_set)
+        while self.steps_completed < self.num_steps:
+            self.step()
+        return self.finish(retrain_final=retrain_final)
 
-        supernet = SuperNet(self.search_space, rng=self._rng)
-        arch_params = ArchitectureParameters(self.search_space, rng=self._rng)
-        weight_optimizer = SGD(
-            supernet.parameters(),
-            lr=config.weight_lr,
-            momentum=config.weight_momentum,
-            weight_decay=config.weight_decay,
-            nesterov=True,
-        )
-        weight_scheduler = CosineAnnealingLR(weight_optimizer, t_max=max(config.search_epochs, 1))
-        arch_optimizer = Adam([arch_params.alpha], lr=config.arch_lr)
-        warmup = LambdaWarmup(target=config.lambda_2, warmup_epochs=config.warmup_epochs)
-        combined_loss = CoExplorationLoss(
-            self.cost_function,
-            label_smoothing=config.label_smoothing,
-            cost_normalizer=self._reference_cost(),
-        )
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full mutable state of a running search (call after :meth:`setup`)."""
+        return {
+            "method_name": self.method_name,
+            "epoch": self._epoch,
+            "elapsed_seconds": self._elapsed,
+            "history": self._history,
+            "rng": rng_state(self._rng),
+            "supernet": self._supernet.state_dict(),
+            "arch_params": self._arch_params.state_dict(),
+            "weight_optimizer": self._weight_optimizer.state_dict(),
+            "arch_optimizer": self._arch_optimizer.state_dict(),
+            "evaluator": self.evaluator.state_dict(),
+            "cost_normalizer": self._combined_loss.cost_normalizer,
+        }
 
-        train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
-        val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
-        history: List[Dict[str, float]] = []
-
-        for epoch in range(config.search_epochs):
-            weight_scheduler.step(epoch)
-            lambda_2 = warmup.value(epoch)
-            val_iter = iter(val_loader)
-            epoch_ce: List[float] = []
-            epoch_hw: List[float] = []
-            for step, (images, labels) in enumerate(train_loader):
-                # ---- weight step on the training batch --------------------
-                gates = arch_params.sample_gumbel(
-                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
-                )
-                logits = supernet(Tensor(images), gates)
-                weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
-                weight_optimizer.zero_grad()
-                arch_params.zero_grad()
-                weight_loss.backward()
-                weight_optimizer.step()
-                epoch_ce.append(weight_loss.item())
-
-                # ---- architecture step on a validation batch --------------
-                if step % config.arch_update_period != 0:
-                    continue
-                try:
-                    val_images, val_labels = next(val_iter)
-                except StopIteration:
-                    val_iter = iter(val_loader)
-                    val_images, val_labels = next(val_iter)
-                gates = arch_params.sample_gumbel(
-                    temperature=config.gumbel_temperature, hard=True, rng=self._rng
-                )
-                val_logits = supernet(Tensor(val_images), gates)
-                predicted_metrics = self.evaluator(arch_params.encoding_tensor(), rng=self._rng)
-                arch_loss = combined_loss(
-                    val_logits, val_labels, predicted_metrics, lambda_2=lambda_2
-                )
-                arch_optimizer.zero_grad()
-                weight_optimizer.zero_grad()
-                arch_loss.backward()
-                arch_optimizer.step()
-                epoch_hw.append(
-                    self.cost_function(predicted_metrics).item() / combined_loss.cost_normalizer
-                )
-
-            history.append(
-                {
-                    "epoch": float(epoch),
-                    "lambda_2": lambda_2,
-                    "train_ce": float(np.mean(epoch_ce)) if epoch_ce else float("nan"),
-                    "hw_cost": float(np.mean(epoch_hw)) if epoch_hw else float("nan"),
-                    "entropy": arch_params.entropy(),
-                }
-            )
-            logger.info(
-                "epoch %d: ce=%.3f hw=%.3f lambda2=%.3f entropy=%.3f",
-                epoch,
-                history[-1]["train_ce"],
-                history[-1]["hw_cost"],
-                lambda_2,
-                history[-1]["entropy"],
-            )
-
-        search_seconds = time.time() - start_time
-        return self.finalize(
-            arch_params,
-            train_set,
-            val_set,
-            method_name=method_name,
-            search_seconds=search_seconds,
-            history=history,
-            retrain_final=retrain_final,
-        )
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into an already-set-up searcher."""
+        if not self._ready:
+            raise RuntimeError("call setup() before load_state_dict()")
+        self.method_name = state["method_name"]
+        self._epoch = int(state["epoch"])
+        self._elapsed = float(state["elapsed_seconds"])
+        self._history = list(state["history"])
+        restore_rng(state["rng"], into=self._rng)
+        self._supernet.load_state_dict(state["supernet"])
+        self._arch_params.load_state_dict(state["arch_params"])
+        self._weight_optimizer.load_state_dict(state["weight_optimizer"])
+        self._arch_optimizer.load_state_dict(state["arch_optimizer"])
+        self.evaluator.load_state_dict(state["evaluator"])
+        self._combined_loss.cost_normalizer = float(state["cost_normalizer"])
 
     # ------------------------------------------------------------------
     # Post-search: exact HW generation + final training

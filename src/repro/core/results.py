@@ -70,6 +70,41 @@ class SearchResult:
             "hardware": str(self.hardware.as_dict()),
         }
 
+    def to_dict(self) -> Dict:
+        """Lossless plain-dict form (floats survive JSON round-trips bit-exactly)."""
+        return {
+            "method": self.method,
+            "op_indices": [int(index) for index in self.op_indices],
+            "accuracy": self.accuracy,
+            "hardware": self.hardware.as_dict(),
+            "metrics": {
+                "latency_ms": self.metrics.latency_ms,
+                "energy_mj": self.metrics.energy_mj,
+                "area_mm2": self.metrics.area_mm2,
+            },
+            "search_seconds": self.search_seconds,
+            "candidates_trained": self.candidates_trained,
+            "history": self.history,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SearchResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            method=data["method"],
+            op_indices=np.asarray(data["op_indices"], dtype=np.int64),
+            accuracy=float(data["accuracy"]),
+            hardware=AcceleratorConfig.from_dict(data["hardware"]),
+            metrics=HardwareMetrics(
+                latency_ms=data["metrics"]["latency_ms"],
+                energy_mj=data["metrics"]["energy_mj"],
+                area_mm2=data["metrics"]["area_mm2"],
+            ),
+            search_seconds=float(data["search_seconds"]),
+            candidates_trained=int(data["candidates_trained"]),
+            history=list(data["history"]),
+        )
+
 
 def format_results_table(results: Sequence[SearchResult], title: Optional[str] = None) -> str:
     """Render search results as a fixed-width text table (Table 2 / 4 style)."""

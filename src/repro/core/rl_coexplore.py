@@ -10,14 +10,17 @@ trained*.
 
 This module implements such a controller so the reproduction can measure the
 accuracy-vs-search-cost comparison of Table 3 inside one consistent
-environment.
+environment.  :class:`RLCoExplorationSearcher` implements the shared
+stepwise :class:`repro.experiments.base.Searcher` protocol; one step is one
+sampled-and-trained candidate, which makes the (expensive) RL runs cheap to
+checkpoint and resume mid-search.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,6 +35,7 @@ from repro.nas.search_space import NASSearchSpace
 from repro.nas.supernet import DerivedNetwork
 from repro.utils.logging import get_logger
 from repro.utils.seeding import as_rng
+from repro.utils.serialization import restore_rng, rng_state
 
 logger = get_logger("core.rl_coexplore")
 
@@ -96,7 +100,9 @@ class RLCoExplorationSearcher:
         self.cost_table = cost_table
         self.cost_function = cost_function or EDAPCostFunction()
         self.config = config or RLCoExplorationConfig()
+        self.method_name = "RL co-exploration"
         self._rng = as_rng(rng)
+        self._ready = False
 
     # ------------------------------------------------------------------
     def _decode_hardware(self, decisions: List[int]) -> AcceleratorConfig:
@@ -115,6 +121,118 @@ class RLCoExplorationSearcher:
         return config, metrics
 
     # ------------------------------------------------------------------
+    # Stepwise search protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Total number of search steps (one per sampled candidate)."""
+        return self.config.num_candidates
+
+    @property
+    def steps_completed(self) -> int:
+        """Number of candidates already sampled and trained."""
+        return self._candidate_index if self._ready else 0
+
+    def setup(self, train_set: ImageClassificationDataset, val_set: ImageClassificationDataset) -> None:
+        """Build the controller and reset the run state."""
+        start = time.time()
+        self._train_set = train_set
+        self._val_set = val_set
+        arch_sizes = [self.search_space.num_ops] * self.search_space.num_searchable
+        hw_sizes = [
+            len(self.hw_space.pe_x_choices),
+            len(self.hw_space.pe_y_choices),
+            len(self.hw_space.rf_choices),
+            len(self.hw_space.dataflow_choices),
+        ]
+        self._controller = _SoftmaxController(
+            arch_sizes + hw_sizes, lr=self.config.controller_lr, rng=self._rng
+        )
+        self._reference_cost_value = self._reference_cost()
+        self._reward_baseline = 0.0
+        self._best: Optional[Dict] = None
+        self._history: List[Dict[str, float]] = []
+        self._candidate_index = 0
+        self._elapsed = time.time() - start
+        self._ready = True
+
+    def step(self) -> Dict[str, float]:
+        """Sample, train and score one candidate, then update the controller."""
+        config = self.config
+        start = time.time()
+        candidate_index = self._candidate_index
+        decisions = self._controller.sample()
+        op_indices = np.asarray(decisions[: self.search_space.num_searchable], dtype=np.int64)
+        hw_decisions = decisions[self.search_space.num_searchable :]
+        hw_config, metrics = self._candidate_metrics(op_indices, hw_decisions)
+
+        # The expensive part prior works cannot avoid: train the candidate.
+        network = DerivedNetwork(self.search_space, op_indices, rng=self._rng)
+        candidate_accuracy = train_classifier(
+            network, self._train_set, self._val_set, config.candidate_training, rng=self._rng
+        )
+
+        normalized_cost = self.cost_function.scalar(metrics) / self._reference_cost_value
+        reward = candidate_accuracy - config.reward_cost_weight * normalized_cost
+        advantage = reward - self._reward_baseline
+        self._reward_baseline = (
+            config.baseline_momentum * self._reward_baseline
+            + (1 - config.baseline_momentum) * reward
+        )
+        self._controller.update(decisions, advantage)
+
+        record = {
+            "candidate": float(candidate_index),
+            "reward": reward,
+            "accuracy": candidate_accuracy,
+            "cost": normalized_cost,
+        }
+        self._history.append(record)
+        if self._best is None or reward > self._best["reward"]:
+            self._best = {
+                "reward": reward,
+                "op_indices": op_indices,
+                "hw_config": hw_config,
+                "metrics": metrics,
+                "accuracy": candidate_accuracy,
+            }
+        logger.info(
+            "candidate %d: reward=%.3f acc=%.3f cost=%.3f",
+            candidate_index,
+            reward,
+            candidate_accuracy,
+            normalized_cost,
+        )
+        self._candidate_index += 1
+        self._elapsed += time.time() - start
+        return record
+
+    def finish(self, retrain_final: bool = True) -> SearchResult:
+        """Return the best candidate found, optionally retrained from scratch."""
+        assert self._best is not None, "finish() requires at least one completed step"
+        final_accuracy = self._best["accuracy"]
+        if retrain_final:
+            final_network = DerivedNetwork(
+                self.search_space, self._best["op_indices"], rng=self._rng
+            )
+            final_accuracy = train_classifier(
+                final_network,
+                self._train_set,
+                self._val_set,
+                self.config.final_training,
+                rng=self._rng,
+            )
+        return SearchResult(
+            method=self.method_name,
+            op_indices=self._best["op_indices"],
+            accuracy=final_accuracy,
+            hardware=self._best["hw_config"],
+            metrics=self._best["metrics"],
+            search_seconds=self._elapsed,
+            candidates_trained=self._candidate_index,
+            history=self._history,
+        )
+
     def search(
         self,
         train_set: ImageClassificationDataset,
@@ -123,86 +241,71 @@ class RLCoExplorationSearcher:
         retrain_final: bool = True,
     ) -> SearchResult:
         """Run the RL co-exploration and return the best candidate found."""
-        config = self.config
-        start_time = time.time()
+        self.method_name = method_name
+        self.setup(train_set, val_set)
+        while self.steps_completed < self.num_steps:
+            self.step()
+        return self.finish(retrain_final=retrain_final)
 
-        arch_sizes = [self.search_space.num_ops] * self.search_space.num_searchable
-        hw_sizes = [
-            len(self.hw_space.pe_x_choices),
-            len(self.hw_space.pe_y_choices),
-            len(self.hw_space.rf_choices),
-            len(self.hw_space.dataflow_choices),
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full mutable state of a running search (call after :meth:`setup`)."""
+        best = None
+        if self._best is not None:
+            best = {
+                "reward": self._best["reward"],
+                "op_indices": self._best["op_indices"],
+                "hw_config": self._best["hw_config"].as_dict(),
+                "metrics": {
+                    "latency_ms": self._best["metrics"].latency_ms,
+                    "energy_mj": self._best["metrics"].energy_mj,
+                    "area_mm2": self._best["metrics"].area_mm2,
+                },
+                "accuracy": self._best["accuracy"],
+            }
+        return {
+            "method_name": self.method_name,
+            "candidate_index": self._candidate_index,
+            "elapsed_seconds": self._elapsed,
+            "history": self._history,
+            "rng": rng_state(self._rng),
+            "controller_logits": list(self._controller.logits),
+            "reward_baseline": self._reward_baseline,
+            "reference_cost": self._reference_cost_value,
+            "best": best,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into an already-set-up searcher."""
+        if not self._ready:
+            raise RuntimeError("call setup() before load_state_dict()")
+        self.method_name = state["method_name"]
+        self._candidate_index = int(state["candidate_index"])
+        self._elapsed = float(state["elapsed_seconds"])
+        self._history = list(state["history"])
+        restore_rng(state["rng"], into=self._rng)
+        self._controller.logits = [
+            np.asarray(logits, dtype=np.float64) for logits in state["controller_logits"]
         ]
-        controller = _SoftmaxController(arch_sizes + hw_sizes, lr=config.controller_lr, rng=self._rng)
-
-        reference_cost = self._reference_cost()
-        reward_baseline = 0.0
-        best: Optional[Dict] = None
-        history: List[Dict[str, float]] = []
-
-        for candidate_index in range(config.num_candidates):
-            decisions = controller.sample()
-            op_indices = np.asarray(decisions[: self.search_space.num_searchable], dtype=np.int64)
-            hw_decisions = decisions[self.search_space.num_searchable :]
-            hw_config, metrics = self._candidate_metrics(op_indices, hw_decisions)
-
-            # The expensive part prior works cannot avoid: train the candidate.
-            network = DerivedNetwork(self.search_space, op_indices, rng=self._rng)
-            candidate_accuracy = train_classifier(
-                network, train_set, val_set, config.candidate_training, rng=self._rng
-            )
-
-            normalized_cost = self.cost_function.scalar(metrics) / reference_cost
-            reward = candidate_accuracy - config.reward_cost_weight * normalized_cost
-            advantage = reward - reward_baseline
-            reward_baseline = (
-                config.baseline_momentum * reward_baseline
-                + (1 - config.baseline_momentum) * reward
-            )
-            controller.update(decisions, advantage)
-
-            history.append(
-                {
-                    "candidate": float(candidate_index),
-                    "reward": reward,
-                    "accuracy": candidate_accuracy,
-                    "cost": normalized_cost,
-                }
-            )
-            if best is None or reward > best["reward"]:
-                best = {
-                    "reward": reward,
-                    "op_indices": op_indices,
-                    "hw_config": hw_config,
-                    "metrics": metrics,
-                    "accuracy": candidate_accuracy,
-                }
-            logger.info(
-                "candidate %d: reward=%.3f acc=%.3f cost=%.3f",
-                candidate_index,
-                reward,
-                candidate_accuracy,
-                normalized_cost,
-            )
-
-        assert best is not None
-        search_seconds = time.time() - start_time
-        final_accuracy = best["accuracy"]
-        if retrain_final:
-            final_network = DerivedNetwork(self.search_space, best["op_indices"], rng=self._rng)
-            final_accuracy = train_classifier(
-                final_network, train_set, val_set, config.final_training, rng=self._rng
-            )
-        return SearchResult(
-            method=method_name,
-            op_indices=best["op_indices"],
-            accuracy=final_accuracy,
-            hardware=best["hw_config"],
-            metrics=best["metrics"],
-            search_seconds=search_seconds,
-            candidates_trained=config.num_candidates,
-            history=history,
-        )
+        self._reward_baseline = float(state["reward_baseline"])
+        self._reference_cost_value = float(state["reference_cost"])
+        best = state["best"]
+        if best is None:
+            self._best = None
+        else:
+            self._best = {
+                "reward": float(best["reward"]),
+                "op_indices": np.asarray(best["op_indices"], dtype=np.int64),
+                "hw_config": AcceleratorConfig.from_dict(best["hw_config"]),
+                "metrics": HardwareMetrics(
+                    latency_ms=best["metrics"]["latency_ms"],
+                    energy_mj=best["metrics"]["energy_mj"],
+                    area_mm2=best["metrics"]["area_mm2"],
+                ),
+                "accuracy": float(best["accuracy"]),
+            }
 
     def _reference_cost(self) -> float:
         """Oracle cost of a random architecture on a mid-range accelerator (normaliser)."""

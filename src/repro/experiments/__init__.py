@@ -1,0 +1,43 @@
+"""Unified experiment orchestration: one API to launch, checkpoint, resume
+and sweep every search method.
+
+* :class:`~repro.experiments.base.Searcher` — the stepwise protocol all
+  three search loops (DANCE, the baselines, the RL comparator) implement;
+* :class:`~repro.experiments.config.ExperimentConfig` — one flat,
+  JSON-round-trippable description of a run;
+* :mod:`~repro.experiments.factory` — deterministic component assembly
+  (fixed per-stage seed offsets);
+* :class:`~repro.experiments.runner.Runner` — the step loop with periodic
+  lossless checkpointing and bit-identical resume, plus multi-method /
+  multi-seed sweeps and result reporting.
+
+The ``python -m repro`` CLI (see ``docs/cli.md``) is a thin wrapper over
+this package.
+"""
+
+from repro.experiments.base import Searcher
+from repro.experiments.config import METHODS, ExperimentConfig
+from repro.experiments.factory import (
+    ExperimentComponents,
+    build_components,
+    build_cost_function,
+    build_datasets,
+    build_evaluator,
+    build_hw_space,
+    build_search_space,
+)
+from repro.experiments.runner import Runner
+
+__all__ = [
+    "Searcher",
+    "METHODS",
+    "ExperimentConfig",
+    "ExperimentComponents",
+    "build_components",
+    "build_cost_function",
+    "build_datasets",
+    "build_evaluator",
+    "build_hw_space",
+    "build_search_space",
+    "Runner",
+]

@@ -1,0 +1,82 @@
+"""The shared ``Searcher`` protocol every search loop implements.
+
+The three search methods of the reproduction — :class:`~repro.core.DanceSearcher`
+(differentiable co-exploration), :class:`~repro.core.BaselineSearcher`
+(hardware-agnostic NAS + post-hoc hardware) and
+:class:`~repro.core.RLCoExplorationSearcher` (the REINFORCE comparator) —
+expose one stepwise interface so the :class:`~repro.experiments.runner.Runner`
+can launch, checkpoint, resume and sweep any of them without method-specific
+glue:
+
+* :meth:`Searcher.setup` builds all mutable run state (networks, optimisers,
+  data loaders) for a ``(train_set, val_set)`` pair;
+* :meth:`Searcher.step` advances the search by one unit — an epoch for the
+  differentiable methods, one sampled-and-trained candidate for RL — and
+  returns the step's history record;
+* :meth:`Searcher.finish` derives and scores the final design as a
+  :class:`~repro.core.results.SearchResult`;
+* :meth:`Searcher.state_dict` / :meth:`Searcher.load_state_dict` round-trip
+  every piece of mutable state (parameters, optimiser slots, the exact RNG
+  stream position) through :mod:`repro.utils.serialization`, which is what
+  makes a resumed run *bit-identical* to an uninterrupted one.
+
+The protocol is structural (:class:`typing.Protocol`): the search loops in
+:mod:`repro.core` implement it without importing this module, and
+``isinstance(searcher, Searcher)`` verifies conformance at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+from repro.core.results import SearchResult
+from repro.data.synthetic import ImageClassificationDataset
+
+
+@runtime_checkable
+class Searcher(Protocol):
+    """Structural interface shared by all search loops (see module docstring)."""
+
+    method_name: str
+
+    @property
+    def num_steps(self) -> int:
+        """Total number of search steps this run will take."""
+        ...
+
+    @property
+    def steps_completed(self) -> int:
+        """Number of steps already run (0 before :meth:`setup`)."""
+        ...
+
+    def setup(
+        self, train_set: ImageClassificationDataset, val_set: ImageClassificationDataset
+    ) -> None:
+        """Build all mutable run state for the given data."""
+        ...
+
+    def step(self) -> Dict[str, float]:
+        """Advance the search by one unit and return its history record."""
+        ...
+
+    def finish(self, retrain_final: bool = True) -> SearchResult:
+        """Derive, score and (optionally) retrain the final design."""
+        ...
+
+    def search(
+        self,
+        train_set: ImageClassificationDataset,
+        val_set: ImageClassificationDataset,
+        method_name: str = ...,
+        retrain_final: bool = ...,
+    ) -> SearchResult:
+        """Convenience: setup + all steps + finish in one call."""
+        ...
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpointable snapshot of all mutable run state."""
+        ...
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (after :meth:`setup`)."""
+        ...

@@ -1,0 +1,158 @@
+"""``ExperimentConfig`` — one flat, JSON-round-trippable description of a run.
+
+Every experiment the repository can execute (any method, task, hardware
+space, cost function and budget) is fully described by one
+:class:`ExperimentConfig`.  The :class:`~repro.experiments.runner.Runner`
+materialises a config into components via
+:func:`repro.experiments.factory.build_components`; the config file saved
+next to a run's checkpoint is what makes ``python -m repro resume`` possible
+without re-specifying anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.utils.serialization import load_json, save_json
+
+#: CLI method keys mapped to the human-readable names used in the paper tables.
+METHODS: Dict[str, str] = {
+    "dance": "DANCE (w/ FF)",
+    "baseline": "Baseline (No penalty) + HW",
+    "baseline_flops": "Baseline (Flops penalty) + HW",
+    "rl": "RL co-exploration",
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """All knobs of one search experiment (defaults give a laptop-scale run).
+
+    Attributes are grouped by the pipeline stage they configure; everything
+    is a plain scalar so the config round-trips through JSON losslessly.
+    """
+
+    # -- what to run ---------------------------------------------------
+    method: str = "dance"
+    seed: int = 0
+
+    # -- classification task ------------------------------------------
+    task: str = "cifar"          # "cifar" | "imagenet"
+    num_classes: int = 0         # 0 = task default (10 for cifar, 20 for imagenet)
+    image_samples: int = 256
+    resolution: int = 8
+
+    # -- architecture search space A -----------------------------------
+    num_searchable: int = 9
+    trainable_resolution: int = 8
+    trainable_base_channels: int = 8
+
+    # -- hardware design space H and cost function ---------------------
+    hw_space: str = "tiny"       # "tiny" (81 configs) | "full" (1215 configs)
+    cost: str = "edap"           # "edap" | "linear"
+    lambda_latency: float = 4.1
+    lambda_energy: float = 4.8
+    lambda_area: float = 1.0
+
+    # -- evaluator (only used by the dance method) ----------------------
+    evaluator_samples: int = 600
+    evaluator_hw_epochs: int = 15
+    evaluator_cost_epochs: int = 25
+    feature_forwarding: bool = True
+
+    # -- search budget --------------------------------------------------
+    search_epochs: int = 2
+    batch_size: int = 32
+    lambda_2: float = 1.0
+    warmup_epochs: int = 1
+    arch_lr: float = 6e-3
+    flops_penalty: float = 2.0   # used by the baseline_flops method
+    rl_candidates: int = 4       # used by the rl method
+    rl_candidate_epochs: int = 1
+    final_epochs: int = 2
+    retrain_final: bool = True
+
+    # -- orchestration --------------------------------------------------
+    checkpoint_every: int = 1    # steps between checkpoints; 0 disables
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r}; expected one of {sorted(METHODS)}")
+        if self.task not in ("cifar", "imagenet"):
+            raise ValueError(f"unknown task {self.task!r}; expected 'cifar' or 'imagenet'")
+        if self.hw_space not in ("tiny", "full"):
+            raise ValueError(f"unknown hw_space {self.hw_space!r}; expected 'tiny' or 'full'")
+        if self.cost not in ("edap", "linear"):
+            raise ValueError(f"unknown cost {self.cost!r}; expected 'edap' or 'linear'")
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Directory-friendly run identifier."""
+        return f"{self.method}-{self.task}-seed{self.seed}"
+
+    @property
+    def method_name(self) -> str:
+        """Human-readable method name used in result tables."""
+        return METHODS[self.method]
+
+    @property
+    def effective_num_classes(self) -> int:
+        """``num_classes`` with the per-task default applied."""
+        if self.num_classes > 0:
+            return self.num_classes
+        return 10 if self.task == "cifar" else 20
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
+        """Build a config from a dict, rejecting unknown keys loudly."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def replace(self, **overrides: Any) -> "ExperimentConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    def apply_override(self, key: str, raw_value: str) -> "ExperimentConfig":
+        """Apply one ``key=value`` CLI override with field-typed coercion."""
+        fields = {field.name: field for field in dataclasses.fields(self)}
+        if key not in fields:
+            raise ValueError(f"unknown config key {key!r}")
+        current = getattr(self, key)
+        if isinstance(current, bool):
+            lowered = raw_value.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                value: Any = True
+            elif lowered in ("0", "false", "no", "off"):
+                value = False
+            else:
+                raise ValueError(
+                    f"{key} expects a boolean (true/false/1/0/yes/no/on/off), got {raw_value!r}"
+                )
+        elif isinstance(current, int):
+            value = int(raw_value)
+        elif isinstance(current, float):
+            value = float(raw_value)
+        else:
+            value = raw_value
+        return self.replace(**{key: value})
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the config as JSON and return the path."""
+        return save_json(self.to_dict(), path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentConfig":
+        """Load a config written by :meth:`save`."""
+        return cls.from_dict(load_json(path))

@@ -1,0 +1,230 @@
+"""Deterministic assembly of experiment components from an ``ExperimentConfig``.
+
+Every stochastic stage draws from its own generator seeded at a fixed offset
+from ``config.seed``, so
+
+* two runs of the same config are bit-identical end to end,
+* a resumed run rebuilds byte-for-byte the same components before the
+  checkpoint overwrites the mutable ones, and
+* all methods of a sweep see *identical* task data and cost tables (same
+  seeds, rebuilt per run rather than object-shared) while each search keeps
+  its own stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core import (
+    BaselineConfig,
+    BaselineSearcher,
+    ClassifierTrainingConfig,
+    DanceConfig,
+    DanceSearcher,
+    RLCoExplorationConfig,
+    RLCoExplorationSearcher,
+    get_cost_function,
+)
+from repro.core.cost_functions import HardwareCostFunction
+from repro.data import make_cifar_like, make_imagenet_like, train_val_split
+from repro.data.synthetic import ImageClassificationDataset
+from repro.evaluator import Evaluator, generate_evaluator_dataset, train_evaluator
+from repro.experiments.config import ExperimentConfig
+from repro.hwmodel import HardwareSearchSpace, tiny_search_space
+from repro.hwmodel.cost_model import CostTable
+from repro.nas import build_cifar_search_space, build_imagenet_search_space
+from repro.nas.search_space import NASSearchSpace
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.factory")
+
+# Fixed seed offsets per stochastic stage (see module docstring).
+SEED_EVAL_DATA = 1
+SEED_EVAL_SPLIT = 2
+SEED_EVAL_INIT = 3
+SEED_EVAL_TRAIN = 4
+SEED_IMAGES = 5
+SEED_IMAGE_SPLIT = 6
+SEED_SEARCH = 7
+
+
+@dataclass
+class ExperimentComponents:
+    """Everything a run needs, assembled from one config."""
+
+    config: ExperimentConfig
+    nas_space: NASSearchSpace
+    hw_space: HardwareSearchSpace
+    cost_table: CostTable
+    cost_function: HardwareCostFunction
+    train_set: ImageClassificationDataset
+    val_set: ImageClassificationDataset
+    searcher: object  # satisfies repro.experiments.base.Searcher
+    evaluator: Optional[Evaluator] = None
+
+
+def build_search_space(config: ExperimentConfig) -> NASSearchSpace:
+    """The architecture space A for the config's task."""
+    builder = build_cifar_search_space if config.task == "cifar" else build_imagenet_search_space
+    return builder(
+        num_classes=config.effective_num_classes,
+        num_searchable=config.num_searchable,
+        trainable_resolution=config.trainable_resolution,
+        trainable_base_channels=config.trainable_base_channels,
+    )
+
+
+def build_hw_space(config: ExperimentConfig) -> HardwareSearchSpace:
+    """The hardware space H (81-config ``tiny`` or full 1215-config)."""
+    return tiny_search_space() if config.hw_space == "tiny" else HardwareSearchSpace()
+
+
+def build_cost_function(config: ExperimentConfig) -> HardwareCostFunction:
+    """The Eq. 3 (EDAP) or Eq. 4 (linear) hardware cost scalarisation."""
+    if config.cost == "linear":
+        return get_cost_function(
+            "linear",
+            lambda_latency=config.lambda_latency,
+            lambda_energy=config.lambda_energy,
+            lambda_area=config.lambda_area,
+        )
+    return get_cost_function("edap")
+
+
+def build_datasets(
+    config: ExperimentConfig,
+) -> Tuple[ImageClassificationDataset, ImageClassificationDataset]:
+    """The synthetic classification task, split into (train, validation)."""
+    if config.task == "cifar":
+        images = make_cifar_like(
+            num_samples=config.image_samples,
+            resolution=config.resolution,
+            rng=config.seed + SEED_IMAGES,
+        )
+    else:
+        images = make_imagenet_like(
+            num_samples=config.image_samples,
+            resolution=config.resolution,
+            num_classes=config.effective_num_classes,
+            rng=config.seed + SEED_IMAGES,
+        )
+    return train_val_split(images, val_fraction=0.25, rng=config.seed + SEED_IMAGE_SPLIT)
+
+
+def build_evaluator(
+    config: ExperimentConfig,
+    nas_space: NASSearchSpace,
+    hw_space: HardwareSearchSpace,
+    cost_table: CostTable,
+    train: bool = True,
+) -> Evaluator:
+    """The differentiable evaluator, oracle-trained unless ``train=False``.
+
+    ``train=False`` is the resume path: construction consumes the same seeds
+    so downstream streams are unaffected, and the checkpoint then restores
+    the trained parameters directly — no retraining cost on resume.
+    """
+    evaluator = Evaluator(
+        nas_space,
+        hw_space,
+        feature_forwarding=config.feature_forwarding,
+        rng=config.seed + SEED_EVAL_INIT,
+    )
+    if train:
+        dataset = generate_evaluator_dataset(
+            nas_space,
+            hw_space,
+            num_samples=config.evaluator_samples,
+            cost_table=cost_table,
+            rng=config.seed + SEED_EVAL_DATA,
+        )
+        train_data, val_data = dataset.split(0.85, rng=config.seed + SEED_EVAL_SPLIT)
+        train_evaluator(
+            evaluator,
+            train_data,
+            val_data,
+            hw_epochs=config.evaluator_hw_epochs,
+            cost_epochs=config.evaluator_cost_epochs,
+            rng=config.seed + SEED_EVAL_TRAIN,
+        )
+    return evaluator
+
+
+def build_components(config: ExperimentConfig, train_evaluator_net: bool = True) -> ExperimentComponents:
+    """Assemble all components (spaces, data, cost model, searcher) for a run."""
+    nas_space = build_search_space(config)
+    hw_space = build_hw_space(config)
+    cost_table = CostTable(nas_space, hw_space)
+    cost_function = build_cost_function(config)
+    train_set, val_set = build_datasets(config)
+    final_training = ClassifierTrainingConfig(
+        epochs=config.final_epochs, batch_size=config.batch_size
+    )
+    search_rng = config.seed + SEED_SEARCH
+    evaluator: Optional[Evaluator] = None
+
+    if config.method == "dance":
+        evaluator = build_evaluator(
+            config, nas_space, hw_space, cost_table, train=train_evaluator_net
+        )
+        searcher: object = DanceSearcher(
+            nas_space,
+            evaluator,
+            cost_table,
+            cost_function=cost_function,
+            config=DanceConfig(
+                search_epochs=config.search_epochs,
+                batch_size=config.batch_size,
+                lambda_2=config.lambda_2,
+                warmup_epochs=config.warmup_epochs,
+                arch_lr=config.arch_lr,
+                final_training=final_training,
+            ),
+            rng=search_rng,
+        )
+    elif config.method in ("baseline", "baseline_flops"):
+        searcher = BaselineSearcher(
+            nas_space,
+            cost_table,
+            hw_cost_function=cost_function,
+            config=BaselineConfig(
+                search_epochs=config.search_epochs,
+                batch_size=config.batch_size,
+                arch_lr=config.arch_lr,
+                flops_penalty=config.flops_penalty if config.method == "baseline_flops" else 0.0,
+                final_training=final_training,
+            ),
+            rng=search_rng,
+        )
+    elif config.method == "rl":
+        searcher = RLCoExplorationSearcher(
+            nas_space,
+            hw_space,
+            cost_table,
+            cost_function=cost_function,
+            config=RLCoExplorationConfig(
+                num_candidates=config.rl_candidates,
+                candidate_training=ClassifierTrainingConfig(
+                    epochs=config.rl_candidate_epochs, batch_size=config.batch_size
+                ),
+                final_training=final_training,
+            ),
+            rng=search_rng,
+        )
+    else:  # pragma: no cover - guarded by ExperimentConfig.__post_init__
+        raise ValueError(f"unknown method {config.method!r}")
+
+    searcher.method_name = config.method_name
+    logger.info("built %s experiment (%s)", config.method, config.name)
+    return ExperimentComponents(
+        config=config,
+        nas_space=nas_space,
+        hw_space=hw_space,
+        cost_table=cost_table,
+        cost_function=cost_function,
+        train_set=train_set,
+        val_set=val_set,
+        searcher=searcher,
+        evaluator=evaluator,
+    )

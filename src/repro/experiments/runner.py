@@ -1,0 +1,271 @@
+"""The ``Runner`` — launch, checkpoint, resume and sweep any search method.
+
+A run lives in one working directory::
+
+    <workdir>/
+      config.json      # the ExperimentConfig (written at launch)
+      checkpoint.json  # periodic lossless snapshot of the searcher state
+      result.json      # the final SearchResult (written once finished)
+
+``Runner.run`` drives any :class:`~repro.experiments.base.Searcher` through
+its steps, checkpointing every ``config.checkpoint_every`` steps through
+:mod:`repro.utils.serialization`.  A killed run is continued with
+``Runner.resume`` (CLI: ``python -m repro resume``): the components are
+rebuilt deterministically from the saved config, the checkpoint restores
+every mutable piece — parameters, optimiser slots, the exact RNG stream —
+and the finished result is bit-identical to an uninterrupted run (asserted
+by ``tests/test_experiments.py``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.results import SearchResult, format_comparison_table, format_results_table
+from repro.data.synthetic import ImageClassificationDataset
+from repro.experiments.config import METHODS, ExperimentConfig
+from repro.experiments.factory import build_components
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_checkpoint, load_json, save_checkpoint, save_json
+
+logger = get_logger("experiments.runner")
+
+CONFIG_FILE = "config.json"
+CHECKPOINT_FILE = "checkpoint.json"
+RESULT_FILE = "result.json"
+
+
+class Runner:
+    """Executes experiments described by :class:`ExperimentConfig` objects."""
+
+    def __init__(self, base_dir: Union[str, Path] = "runs") -> None:
+        self.base_dir = Path(base_dir)
+
+    # ------------------------------------------------------------------
+    # Low-level step loop (also used directly by the benchmark harnesses)
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        searcher: Any,
+        train_set: ImageClassificationDataset,
+        val_set: ImageClassificationDataset,
+        method_name: Optional[str] = None,
+        retrain_final: bool = True,
+        workdir: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 0,
+        max_steps: Optional[int] = None,
+        state: Optional[Dict[str, Any]] = None,
+    ) -> Optional[SearchResult]:
+        """Drive a searcher through setup / steps / finish, checkpointing as asked.
+
+        ``max_steps`` bounds the number of steps executed by *this call* (the
+        run is checkpointed and ``None`` is returned when the bound stops it
+        early — the programmatic equivalent of killing the process).
+        ``state`` is a checkpointed searcher snapshot to resume from.
+        """
+        if method_name is not None:
+            searcher.method_name = method_name
+        workdir = Path(workdir) if workdir is not None else None
+        searcher.setup(train_set, val_set)
+        if state is not None:
+            searcher.load_state_dict(state)
+            if method_name is not None:
+                # An explicit override beats the label stored in the checkpoint.
+                searcher.method_name = method_name
+            logger.info(
+                "resumed %s at step %d/%d",
+                searcher.method_name,
+                searcher.steps_completed,
+                searcher.num_steps,
+            )
+        executed = 0
+        while searcher.steps_completed < searcher.num_steps:
+            if max_steps is not None and executed >= max_steps:
+                if workdir is not None:
+                    self._checkpoint(searcher, workdir)
+                logger.info(
+                    "paused %s at step %d/%d",
+                    searcher.method_name,
+                    searcher.steps_completed,
+                    searcher.num_steps,
+                )
+                return None
+            searcher.step()
+            executed += 1
+            if (
+                workdir is not None
+                and checkpoint_every > 0
+                and searcher.steps_completed % checkpoint_every == 0
+            ):
+                self._checkpoint(searcher, workdir)
+        result = searcher.finish(retrain_final=retrain_final)
+        if workdir is not None:
+            save_json(result.to_dict(), workdir / RESULT_FILE)
+        return result
+
+    def _checkpoint(self, searcher: Any, workdir: Path) -> None:
+        path = save_checkpoint(
+            {"steps_completed": searcher.steps_completed, "state": searcher.state_dict()},
+            workdir / CHECKPOINT_FILE,
+        )
+        logger.info(
+            "checkpointed %s at step %d/%d -> %s",
+            searcher.method_name,
+            searcher.steps_completed,
+            searcher.num_steps,
+            path,
+        )
+
+    # ------------------------------------------------------------------
+    # Config-driven runs
+    # ------------------------------------------------------------------
+    def workdir_for(self, config: ExperimentConfig) -> Path:
+        """Default working directory of a config's run."""
+        return self.base_dir / config.name
+
+    def run(
+        self,
+        config: ExperimentConfig,
+        workdir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        max_steps: Optional[int] = None,
+        method_name: Optional[str] = None,
+    ) -> Optional[SearchResult]:
+        """Execute (or, with ``resume=True``, continue) one configured run.
+
+        ``method_name`` overrides the method label recorded in the result
+        (useful when several runs of the same method differ only by a
+        hyper-parameter).  Returns the final :class:`SearchResult`, or
+        ``None`` when ``max_steps`` paused the run early (a checkpoint is
+        left behind).
+        """
+        workdir = Path(workdir) if workdir is not None else self.workdir_for(config)
+        config_path = workdir / CONFIG_FILE
+        if resume and config_path.exists():
+            saved = ExperimentConfig.load(config_path)
+            if saved != config:
+                raise ValueError(
+                    f"cannot resume {workdir}: its saved config differs from the requested "
+                    f"one — resume with the saved config, or use a fresh workdir"
+                )
+        result_path = workdir / RESULT_FILE
+        if resume and result_path.exists():
+            logger.info("run %s already finished; loading %s", config.name, result_path)
+            return SearchResult.from_dict(load_json(result_path))
+
+        state: Optional[Dict[str, Any]] = None
+        checkpoint_path = workdir / CHECKPOINT_FILE
+        if resume:
+            if checkpoint_path.exists():
+                state = load_checkpoint(checkpoint_path)["state"]
+        else:
+            # A fresh run must not leave artefacts of a previous occupant of
+            # this workdir behind: a later `resume` would silently serve them.
+            checkpoint_path.unlink(missing_ok=True)
+            result_path.unlink(missing_ok=True)
+        config.save(config_path)
+
+        # On resume the checkpoint restores the evaluator's trained weights,
+        # so skip the (expensive) evaluator training during rebuild.
+        train_evaluator_net = not (state is not None and "evaluator" in state)
+        components = build_components(config, train_evaluator_net=train_evaluator_net)
+        return self.execute(
+            components.searcher,
+            components.train_set,
+            components.val_set,
+            method_name=method_name,
+            retrain_final=config.retrain_final,
+            workdir=workdir,
+            checkpoint_every=config.checkpoint_every,
+            max_steps=max_steps,
+            state=state,
+        )
+
+    def resume(
+        self,
+        workdir: Optional[Union[str, Path]] = None,
+        max_steps: Optional[int] = None,
+    ) -> Optional[SearchResult]:
+        """Continue the run in ``workdir`` (default: latest unfinished run)."""
+        if workdir is None:
+            workdir = self.find_latest_incomplete()
+            if workdir is None:
+                raise FileNotFoundError(
+                    f"no unfinished run (checkpoint without result) found under {self.base_dir}"
+                )
+        workdir = Path(workdir)
+        config_path = workdir / CONFIG_FILE
+        if not config_path.exists():
+            raise FileNotFoundError(f"{config_path} not found — is {workdir} a run directory?")
+        config = ExperimentConfig.load(config_path)
+        return self.run(config, workdir=workdir, resume=True, max_steps=max_steps)
+
+    def find_latest_incomplete(self) -> Optional[Path]:
+        """Most recently checkpointed run directory that has no result yet."""
+        candidates = [
+            path.parent
+            for path in self.base_dir.glob(f"*/{CHECKPOINT_FILE}")
+            if not (path.parent / RESULT_FILE).exists()
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda run: (run / CHECKPOINT_FILE).stat().st_mtime)
+
+    # ------------------------------------------------------------------
+    # Sweeps and reporting
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        base_config: ExperimentConfig,
+        methods: Optional[Sequence[str]] = None,
+        seeds: Optional[Sequence[int]] = None,
+        title: Optional[str] = None,
+    ) -> List[SearchResult]:
+        """Run every (method, seed) combination and write a combined report.
+
+        Finished sub-runs are skipped (their saved results are reused), so an
+        interrupted sweep is simply re-launched.
+        """
+        methods = list(methods) if methods is not None else [base_config.method]
+        seeds = list(seeds) if seeds is not None else [base_config.seed]
+        for method in methods:
+            if method not in METHODS:
+                raise ValueError(f"unknown method {method!r}; expected one of {sorted(METHODS)}")
+        results: List[SearchResult] = []
+        for method in methods:
+            for seed in seeds:
+                config = base_config.replace(method=method, seed=seed)
+                logger.info("sweep: running %s", config.name)
+                result = self.run(config, resume=True)
+                assert result is not None  # run() only pauses when max_steps is set
+                results.append(result)
+        report = self.format_report(results, title=title or "Sweep results")
+        report_path = self.base_dir / "REPORT.txt"
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(report + "\n", encoding="utf-8")
+        return results
+
+    def collect_results(self, root: Optional[Union[str, Path]] = None) -> List[SearchResult]:
+        """Load every saved ``result.json`` under ``root`` (default: base dir)."""
+        root = Path(root) if root is not None else self.base_dir
+        results = []
+        for path in sorted(root.rglob(RESULT_FILE)):
+            results.append(SearchResult.from_dict(load_json(path)))
+        return results
+
+    def format_report(self, results: Sequence[SearchResult], title: str = "Results") -> str:
+        """Render results as the Table-2 style and Table-3 style text tables."""
+        if not results:
+            return f"{title}\n(no results found)"
+        parts = [
+            format_results_table(results, title=title),
+            "",
+            format_comparison_table(results, title="Search-cost comparison (Table 3 style)"),
+        ]
+        return "\n".join(parts)
+
+    def report(self, root: Optional[Union[str, Path]] = None) -> str:
+        """Collect saved results and render the combined report."""
+        root = Path(root) if root is not None else self.base_dir
+        return self.format_report(self.collect_results(root), title=f"Results under {root}")

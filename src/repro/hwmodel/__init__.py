@@ -10,6 +10,11 @@ DRAM interface, executing convolution layers under one of three dataflows
 * the exhaustive hardware generation tool
   (:class:`ExhaustiveHardwareGenerator`) used for ground truth and for the
   one-time exact generation after the search.
+
+The oracle is organised as a 4-tier pipeline (scalar reference, batched
+:class:`LayerBatch`/:class:`ConfigBatch` kernels, :class:`CostTable`, LRU
+memo); the public API of each tier and a "which tier should I call" guide
+are documented in ``docs/cost_model.md``.
 """
 
 from repro.hwmodel.accelerator import (
@@ -32,7 +37,13 @@ from repro.hwmodel.generator import (
     GenerationResult,
     make_linear_cost,
 )
-from repro.hwmodel.metrics import HardwareMetrics, aggregate_metrics, edap_cost, linear_cost
+from repro.hwmodel.metrics import (
+    HardwareMetrics,
+    aggregate_metrics,
+    edap_cost,
+    linear_cost,
+    pareto_front,
+)
 from repro.hwmodel.technology import DEFAULT_TECHNOLOGY, TechnologyParameters
 from repro.hwmodel.workload import (
     ConvLayerShape,
@@ -63,6 +74,7 @@ __all__ = [
     "aggregate_metrics",
     "edap_cost",
     "linear_cost",
+    "pareto_front",
     "DEFAULT_TECHNOLOGY",
     "TechnologyParameters",
     "ConvLayerShape",

@@ -11,6 +11,9 @@ Eyeriss-style 2-D PE array and the searched design parameters are:
 Within the evaluator network, each parameter is represented as a one-hot
 vector over its discrete candidate values, "to simplify the cascaded
 connection between the hardware generation and the cost estimation networks".
+
+:class:`ConfigBatch` is the structure-of-arrays form consumed by the batched
+cost kernels; see ``docs/cost_model.md`` for the cost-pipeline API.
 """
 
 from __future__ import annotations

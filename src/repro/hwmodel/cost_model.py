@@ -7,6 +7,9 @@ It is the *non-differentiable* ground truth that the evaluator network is
 trained to imitate, and it is also used after the search to score the final
 designs.
 
+The tiered public API (scalar oracle, batched kernels, :class:`CostTable`,
+LRU memo) and a guide to choosing a tier live in ``docs/cost_model.md``.
+
 The oracle is organised as a three-tier pipeline:
 
 1. **Batched kernels** — :meth:`AcceleratorCostModel.evaluate_layer_batch`

@@ -15,7 +15,8 @@ supported dataflows and produces a :class:`MappingResult` describing
 
 The model is intentionally analytical — the same level of abstraction as
 Timeloop's mapping analysis — and reproduces the qualitative interactions
-that motivate co-exploration:
+that motivate co-exploration (:func:`analyze_mapping_batch` is the
+vectorised tier-2 form; see ``docs/cost_model.md``):
 
 * Weight-stationary arrays parallelise over channels, so depthwise/separable
   layers (one input channel per group) utilise them poorly — the TPU

@@ -1,9 +1,15 @@
-"""Hardware cost metric containers and derived figures of merit."""
+"""Hardware cost metric containers and derived figures of merit.
+
+The public cost-model API (which tier computes these metrics, and when to
+call which) is documented in ``docs/cost_model.md``.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -93,3 +99,28 @@ def linear_cost(
 def edap_cost(metrics: HardwareMetrics) -> float:
     """Energy-delay-area product — Eq. 4 of the paper."""
     return metrics.edap
+
+
+_T = TypeVar("_T")
+
+
+def pareto_front(points: Sequence[Tuple[_T, HardwareMetrics]]) -> List[Tuple[_T, HardwareMetrics]]:
+    """The (latency, energy, area)-Pareto-optimal subset of ``points``.
+
+    Each point is a ``(payload, metrics)`` pair (the payload is typically an
+    :class:`~repro.hwmodel.accelerator.AcceleratorConfig`); a point survives
+    unless some other point is no worse on all three metrics and strictly
+    better on at least one.
+    """
+    if not points:
+        return []
+    values = np.array(
+        [(m.latency_ms, m.energy_mj, m.area_mm2) for _, m in points], dtype=np.float64
+    )
+    keep: List[Tuple[_T, HardwareMetrics]] = []
+    for index, (payload, metrics) in enumerate(points):
+        no_worse = (values <= values[index]).all(axis=1)
+        strictly_better = (values < values[index]).any(axis=1)
+        if not (no_worse & strictly_better).any():
+            keep.append((payload, metrics))
+    return keep

@@ -3,7 +3,9 @@
 A convolution layer is described by the seven dimensions of Figure 1 of the
 paper: input activations (H, W, C), weights (R, S, K) and batch (N), plus a
 stride.  A :class:`NetworkWorkload` is an ordered list of such layers and is
-what the accelerator cost model evaluates.
+what the accelerator cost model evaluates.  :class:`LayerBatch` is the
+structure-of-arrays form consumed by the batched cost kernels (tier 2 of the
+pipeline documented in ``docs/cost_model.md``).
 """
 
 from __future__ import annotations

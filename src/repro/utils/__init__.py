@@ -2,7 +2,16 @@
 
 from repro.utils.seeding import global_rng, seed_everything
 from repro.utils.logging import get_logger
-from repro.utils.serialization import load_json, save_json
+from repro.utils.serialization import (
+    decode_state,
+    encode_state,
+    load_checkpoint,
+    load_json,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+    save_json,
+)
 
 __all__ = [
     "global_rng",
@@ -10,4 +19,10 @@ __all__ = [
     "get_logger",
     "load_json",
     "save_json",
+    "encode_state",
+    "decode_state",
+    "rng_state",
+    "restore_rng",
+    "save_checkpoint",
+    "load_checkpoint",
 ]
