@@ -10,10 +10,16 @@ always part of the benchmark output.
 
 from __future__ import annotations
 
+import os
 from typing import List
 
 #: Lines recorded by :func:`report`, replayed in the terminal summary.
 REPORT_LINES: List[str] = []
+
+
+def bench_scale() -> str:
+    """Benchmark scale: ``small`` (CI-friendly) or ``full`` (closer to the paper)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
 
 
 def report(text: str = "") -> None:

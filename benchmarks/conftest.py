@@ -19,20 +19,16 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-import numpy as np
 import pytest
 
 from repro.core import ClassifierTrainingConfig
-from repro.data import make_cifar_like, make_imagenet_like, train_val_split
+from repro.data import make_cifar_like, train_val_split
 from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
 from repro.hwmodel import HardwareSearchSpace, tiny_search_space
-from repro.nas import build_cifar_search_space, build_imagenet_search_space
+from repro.nas import build_cifar_search_space
 from repro.utils.seeding import seed_everything
 
-
-def bench_scale() -> str:
-    """Benchmark scale: ``small`` (CI-friendly) or ``full`` (closer to the paper)."""
-    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+from bench_utils import bench_scale
 
 
 @dataclass(frozen=True)

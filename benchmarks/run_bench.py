@@ -11,7 +11,11 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py [--samples N] [--tiny] [--output PATH]
 
 ``--tiny`` switches to the 81-configuration test space (fast smoke run); the
-default is the paper's full 1215-configuration hardware space.
+default is the paper's full 1215-configuration hardware space.  With
+``REPRO_BENCH_SCALE=small`` (the CI setting, see ``bench_utils.bench_scale``)
+the default sample count drops so the whole run stays CI-cheap while the
+space — and therefore comparability with the committed baseline — is
+unchanged; ``tools/check_bench.py`` gates CI on the measured speedups.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import numpy as np
 
-from bench_utils import legacy_build_cost_table, legacy_generate_evaluator_dataset
+from bench_utils import bench_scale, legacy_build_cost_table, legacy_generate_evaluator_dataset
 
 from repro.evaluator import generate_evaluator_dataset
 from repro.hwmodel import AcceleratorCostModel, CostTable, HardwareSearchSpace, tiny_search_space
@@ -45,7 +49,13 @@ def _time(fn, repeats: int = 1) -> float:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--samples", type=int, default=300, help="dataset samples to label")
+    default_samples = 120 if bench_scale() == "small" else 300
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=default_samples,
+        help=f"dataset samples to label (default: {default_samples}, via REPRO_BENCH_SCALE)",
+    )
     parser.add_argument("--tiny", action="store_true", help="use the 81-config test space")
     parser.add_argument(
         "--output",

@@ -13,7 +13,6 @@ paper argues for:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.autograd import Tensor
 from repro.autograd.functional import mse_loss, msre_loss

@@ -30,13 +30,15 @@ from repro.core import (
     format_results_table,
 )
 from repro.evaluator import Evaluator, train_evaluator
-from repro.experiments import Runner
+from repro.experiments import Runner, execute_queued
 
 from bench_utils import print_section, report
 
-# All searches go through the shared orchestration step loop (no workdir, so
-# nothing is written to disk); the Runner drives setup/step/finish exactly as
-# the `python -m repro` CLI does.
+# All searches go through the shared orchestration step loop, dispatched via
+# the same claim -> execute -> complete work-queue cycle that `python -m repro
+# sweep --jobs N` uses (one in-process worker here: the flows share
+# session-scoped trained evaluators, which cannot cross process boundaries).
+# Each flow leaves its result.json in the queue directory.
 RUNNER = Runner()
 
 PAPER_TABLE2_EDAP = {
@@ -69,97 +71,80 @@ def table2_results(
     cifar_images,
     final_training_config,
     budget,
+    tmp_path_factory,
 ):
-    """Run the five Table-2 flows once and share the results across tests."""
+    """Run the five Table-2 flows once (via the work queue) and share the results."""
     train_images, val_images = cifar_images
     cost_function = EDAPCostFunction()
 
-    results = {}
-    results["Baseline (No penalty) + HW"] = RUNNER.execute(
-        BaselineSearcher(
-            cifar_nas_space,
-            cifar_cost_table,
-            hw_cost_function=cost_function,
-            config=BaselineConfig(
-                search_epochs=budget.search_epochs, batch_size=32, final_training=final_training_config
+    def baseline_flow(workdir, flops_penalty, rng, method_name):
+        return RUNNER.execute(
+            BaselineSearcher(
+                cifar_nas_space,
+                cifar_cost_table,
+                hw_cost_function=cost_function,
+                config=BaselineConfig(
+                    search_epochs=budget.search_epochs,
+                    batch_size=32,
+                    flops_penalty=flops_penalty,
+                    final_training=final_training_config,
+                ),
+                rng=rng,
             ),
-            rng=100,
-        ),
-        train_images,
-        val_images,
-        method_name="Baseline (No penalty) + HW",
-    )
+            train_images,
+            val_images,
+            method_name=method_name,
+            workdir=workdir,
+        )
 
-    results["Baseline (Flops penalty) + HW"] = RUNNER.execute(
-        BaselineSearcher(
-            cifar_nas_space,
-            cifar_cost_table,
-            hw_cost_function=cost_function,
-            config=BaselineConfig(
-                search_epochs=budget.search_epochs,
-                batch_size=32,
-                flops_penalty=2.0,
-                final_training=final_training_config,
+    def dance_flow(workdir, evaluator, lambda_2, rng, method_name, arch_lr=6e-3):
+        return RUNNER.execute(
+            DanceSearcher(
+                cifar_nas_space,
+                evaluator,
+                cifar_cost_table,
+                cost_function=cost_function,
+                config=_dance_config(budget, final_training_config, lambda_2, arch_lr=arch_lr),
+                rng=rng,
             ),
-            rng=101,
-        ),
-        train_images,
-        val_images,
-        method_name="Baseline (Flops penalty) + HW",
-    )
+            train_images,
+            val_images,
+            method_name=method_name,
+            workdir=workdir,
+        )
 
-    # DANCE without feature forwarding needs its own (no-FF) evaluator.
-    train_eval, val_eval = cifar_evaluator_data
-    no_ff_evaluator = Evaluator(cifar_nas_space, hw_space, feature_forwarding=False, rng=102)
-    train_evaluator(
-        no_ff_evaluator,
-        train_eval,
-        val_eval,
-        hw_epochs=budget.evaluator_hw_epochs,
-        cost_epochs=budget.evaluator_cost_epochs,
-        rng=103,
-    )
-    results["DANCE (w/o FF)"] = RUNNER.execute(
-        DanceSearcher(
-            cifar_nas_space,
+    def no_ff_flow(workdir):
+        # DANCE without feature forwarding needs its own (no-FF) evaluator.
+        train_eval, val_eval = cifar_evaluator_data
+        no_ff_evaluator = Evaluator(cifar_nas_space, hw_space, feature_forwarding=False, rng=102)
+        train_evaluator(
             no_ff_evaluator,
-            cifar_cost_table,
-            cost_function=cost_function,
-            config=_dance_config(budget, final_training_config, lambda_2=1.0),
-            rng=104,
-        ),
-        train_images,
-        val_images,
-        method_name="DANCE (w/o FF)",
-    )
+            train_eval,
+            val_eval,
+            hw_epochs=budget.evaluator_hw_epochs,
+            cost_epochs=budget.evaluator_cost_epochs,
+            rng=103,
+        )
+        return dance_flow(workdir, no_ff_evaluator, 1.0, 104, "DANCE (w/o FF)")
 
-    results["DANCE (w/ FF)-A"] = RUNNER.execute(
-        DanceSearcher(
-            cifar_nas_space,
-            trained_cifar_evaluator,
-            cifar_cost_table,
-            cost_function=cost_function,
-            config=_dance_config(budget, final_training_config, lambda_2=0.5),
-            rng=105,
+    flows = {
+        "Baseline (No penalty) + HW": lambda wd: baseline_flow(
+            wd, 0.0, 100, "Baseline (No penalty) + HW"
         ),
-        train_images,
-        val_images,
-        method_name="DANCE (w/ FF)-A",
-    )
-
-    results["DANCE (w/ FF)-B"] = RUNNER.execute(
-        DanceSearcher(
-            cifar_nas_space,
-            trained_cifar_evaluator,
-            cifar_cost_table,
-            cost_function=cost_function,
-            config=_dance_config(budget, final_training_config, lambda_2=4.0, arch_lr=2e-2),
-            rng=106,
+        "Baseline (Flops penalty) + HW": lambda wd: baseline_flow(
+            wd, 2.0, 101, "Baseline (Flops penalty) + HW"
         ),
-        train_images,
-        val_images,
-        method_name="DANCE (w/ FF)-B",
-    )
+        "DANCE (w/o FF)": no_ff_flow,
+        "DANCE (w/ FF)-A": lambda wd: dance_flow(
+            wd, trained_cifar_evaluator, 0.5, 105, "DANCE (w/ FF)-A"
+        ),
+        "DANCE (w/ FF)-B": lambda wd: dance_flow(
+            wd, trained_cifar_evaluator, 4.0, 106, "DANCE (w/ FF)-B", arch_lr=2e-2
+        ),
+    }
+    queued = {name.replace("/", "-"): flow for name, flow in flows.items()}
+    queue_results = execute_queued(queued, tmp_path_factory.mktemp("table2_queue"))
+    results = {name: queue_results[name.replace("/", "-")] for name in flows}
 
     print_section("Table 2 (CostHW = EDAP) — reproduced")
     report(format_results_table(list(results.values())))

@@ -31,12 +31,13 @@ from repro.core import (
     format_comparison_table,
 )
 
-from repro.experiments import Runner
+from repro.experiments import Runner, execute_queued
 
 from bench_utils import print_section, report
 
 # Both comparison searches run through the shared orchestration step loop,
-# exactly as a `python -m repro run` would drive them (no workdir: in-memory).
+# dispatched via the work-queue cycle of `python -m repro sweep --jobs N`
+# (one in-process worker: the DANCE flow uses a session-scoped evaluator).
 RUNNER = Runner()
 
 PAPER_TABLE3 = [
@@ -57,47 +58,57 @@ def comparison_results(
     trained_cifar_evaluator,
     cifar_images,
     budget,
+    tmp_path_factory,
 ):
     train_images, val_images = cifar_images
     final_training = ClassifierTrainingConfig(epochs=budget.final_epochs, batch_size=32)
 
-    dance = RUNNER.execute(
-        DanceSearcher(
-            cifar_nas_space,
-            trained_cifar_evaluator,
-            cifar_cost_table,
-            cost_function=EDAPCostFunction(),
-            config=DanceConfig(
-                search_epochs=budget.search_epochs,
-                batch_size=32,
-                lambda_2=0.5,
-                warmup_epochs=1,
-                final_training=final_training,
+    def dance_flow(workdir):
+        return RUNNER.execute(
+            DanceSearcher(
+                cifar_nas_space,
+                trained_cifar_evaluator,
+                cifar_cost_table,
+                cost_function=EDAPCostFunction(),
+                config=DanceConfig(
+                    search_epochs=budget.search_epochs,
+                    batch_size=32,
+                    lambda_2=0.5,
+                    warmup_epochs=1,
+                    final_training=final_training,
+                ),
+                rng=200,
             ),
-            rng=200,
-        ),
-        train_images,
-        val_images,
-        method_name="DANCE (ours, gradient)",
-    )
+            train_images,
+            val_images,
+            method_name="DANCE (ours, gradient)",
+            workdir=workdir,
+        )
 
-    rl = RUNNER.execute(
-        RLCoExplorationSearcher(
-            cifar_nas_space,
-            hw_space,
-            cifar_cost_table,
-            cost_function=EDAPCostFunction(),
-            config=RLCoExplorationConfig(
-                num_candidates=budget.rl_candidates,
-                candidate_training=ClassifierTrainingConfig(epochs=1, batch_size=32),
-                final_training=final_training,
+    def rl_flow(workdir):
+        return RUNNER.execute(
+            RLCoExplorationSearcher(
+                cifar_nas_space,
+                hw_space,
+                cifar_cost_table,
+                cost_function=EDAPCostFunction(),
+                config=RLCoExplorationConfig(
+                    num_candidates=budget.rl_candidates,
+                    candidate_training=ClassifierTrainingConfig(epochs=1, batch_size=32),
+                    final_training=final_training,
+                ),
+                rng=201,
             ),
-            rng=201,
-        ),
-        train_images,
-        val_images,
-        method_name="RL co-exploration (comparator)",
+            train_images,
+            val_images,
+            method_name="RL co-exploration (comparator)",
+            workdir=workdir,
+        )
+
+    queued = execute_queued(
+        {"dance": dance_flow, "rl": rl_flow}, tmp_path_factory.mktemp("table3_queue")
     )
+    dance, rl = queued["dance"], queued["rl"]
 
     print_section("Table 3 — reproduced comparison (shared environment)")
     report(format_comparison_table([rl, dance]))

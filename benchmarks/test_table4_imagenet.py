@@ -28,12 +28,14 @@ from repro.core import (
 )
 from repro.data import make_imagenet_like, train_val_split
 from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
-from repro.experiments import Runner
+from repro.experiments import Runner, execute_queued
 from repro.nas import build_imagenet_search_space
 
 from bench_utils import print_section, report
 
-# Searches are driven by the shared orchestration step loop (in-memory).
+# Searches are driven by the shared orchestration step loop, dispatched via
+# the work-queue cycle of `python -m repro sweep --jobs N` (one in-process
+# worker: both flows share the module-scoped ImageNet-proxy setup).
 RUNNER = Runner()
 
 PAPER_TABLE4 = {
@@ -69,45 +71,54 @@ def imagenet_setup(hw_space, budget):
 
 
 @pytest.fixture(scope="module")
-def table4_results(imagenet_setup, budget):
+def table4_results(imagenet_setup, budget, tmp_path_factory):
     nas_space, cost_table, evaluator, train_images, val_images = imagenet_setup
     final_training = ClassifierTrainingConfig(epochs=budget.final_epochs, batch_size=32)
     cost_function = EDAPCostFunction()
 
-    baseline = RUNNER.execute(
-        BaselineSearcher(
-            nas_space,
-            cost_table,
-            hw_cost_function=cost_function,
-            config=BaselineConfig(
-                search_epochs=budget.search_epochs, batch_size=32, final_training=final_training
+    def baseline_flow(workdir):
+        return RUNNER.execute(
+            BaselineSearcher(
+                nas_space,
+                cost_table,
+                hw_cost_function=cost_function,
+                config=BaselineConfig(
+                    search_epochs=budget.search_epochs, batch_size=32, final_training=final_training
+                ),
+                rng=310,
             ),
-            rng=310,
-        ),
-        train_images,
-        val_images,
-        method_name="Baseline + HW",
-    )
+            train_images,
+            val_images,
+            method_name="Baseline + HW",
+            workdir=workdir,
+        )
 
-    dance = RUNNER.execute(
-        DanceSearcher(
-            nas_space,
-            evaluator,
-            cost_table,
-            cost_function=cost_function,
-            config=DanceConfig(
-                search_epochs=budget.search_epochs,
-                batch_size=32,
-                lambda_2=2.0,
-                warmup_epochs=1,
-                final_training=final_training,
+    def dance_flow(workdir):
+        return RUNNER.execute(
+            DanceSearcher(
+                nas_space,
+                evaluator,
+                cost_table,
+                cost_function=cost_function,
+                config=DanceConfig(
+                    search_epochs=budget.search_epochs,
+                    batch_size=32,
+                    lambda_2=2.0,
+                    warmup_epochs=1,
+                    final_training=final_training,
+                ),
+                rng=311,
             ),
-            rng=311,
-        ),
-        train_images,
-        val_images,
-        method_name="DANCE (w/ FF)",
+            train_images,
+            val_images,
+            method_name="DANCE (w/ FF)",
+            workdir=workdir,
+        )
+
+    queued = execute_queued(
+        {"baseline": baseline_flow, "dance": dance_flow}, tmp_path_factory.mktemp("table4_queue")
     )
+    baseline, dance = queued["baseline"], queued["dance"]
 
     print_section("Table 4 (ImageNet-proxy) — reproduced")
     report(format_results_table([baseline, dance]))

@@ -5,14 +5,17 @@ Subcommands (full reference with examples in ``docs/cli.md``):
 * ``run``    — launch one configured search (periodically checkpointed);
 * ``resume`` — continue a killed/paused run bit-identically from its
   checkpoint (defaults to the most recent unfinished run);
-* ``sweep``  — run a methods x seeds grid and write a combined report;
-* ``report`` — render all saved results as the paper-style tables.
+* ``sweep``  — run a methods x seeds grid (``--jobs N`` parallel workers,
+  ``--shard I/OF`` for CI fan-out) and write a combined report;
+* ``report`` — render all saved results as the paper-style tables, plus the
+  state of any partial or in-flight sweep.
 
 Examples::
 
     python -m repro run --method dance --seed 0
     python -m repro resume
-    python -m repro sweep --methods baseline baseline_flops dance --seeds 0 1
+    python -m repro sweep --methods baseline baseline_flops dance --seeds 0 1 --jobs 4
+    python -m repro sweep --methods dance rl --seeds 0 1 2 --shard 1/3
     python -m repro report
 """
 
@@ -23,7 +26,16 @@ import sys
 from typing import List, Optional
 
 from repro.core.results import format_results_table
-from repro.experiments import METHODS, ExperimentConfig, Runner
+from repro.experiments import METHODS, ExperimentConfig, Runner, SweepPlan, parse_shard, run_sweep
+from repro.experiments.sweep import DEFAULT_LOCK_TTL
+
+
+def _positive_int(raw: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--jobs``)."""
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
@@ -80,10 +92,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--methods", nargs="+", choices=sorted(METHODS), default=["dance"], help="methods to run"
     )
     sweep.add_argument("--seeds", nargs="+", type=int, default=[0], help="seeds to run")
+    sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes claiming runs from the work queue (default: 1)",
+    )
+    sweep.add_argument(
+        "--shard",
+        metavar="I/OF",
+        help="run only the I-th of OF disjoint grid slices (1-based), e.g. 2/3 for CI fan-out",
+    )
+    sweep.add_argument(
+        "--lock-ttl",
+        type=float,
+        default=DEFAULT_LOCK_TTL,
+        metavar="SECONDS",
+        help="heartbeat silence after which a crashed worker's claim is re-claimable "
+        f"(default: {DEFAULT_LOCK_TTL:.0f})",
+    )
     _add_common_run_options(sweep)
 
     report = subparsers.add_parser("report", help="render all saved results as tables")
     report.add_argument("--workdir", help="directory to scan (default: --runs-dir)")
+    report.add_argument(
+        "--lock-ttl",
+        type=float,
+        default=DEFAULT_LOCK_TTL,
+        metavar="SECONDS",
+        help="ttl used to classify in-flight runs as running vs stale — pass the "
+        "value the sweep ran with",
+    )
     return parser
 
 
@@ -131,13 +170,31 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sweep":
         config = _config_from_args(args)
-        results = runner.sweep(config, methods=args.methods, seeds=args.seeds)
-        print(runner.format_report(results, title=f"Sweep ({len(results)} runs)"))
-        print(f"Report saved to {runner.base_dir / 'REPORT.txt'}")
+        try:
+            plan = SweepPlan.from_grid(config, methods=args.methods, seeds=args.seeds)
+            if args.shard:
+                plan = plan.shard(*parse_shard(args.shard))
+        except ValueError as error:
+            raise SystemExit(str(error))
+        outcome = run_sweep(
+            plan,
+            base_dir=runner.base_dir,
+            jobs=args.jobs,
+            lock_ttl=args.lock_ttl,
+            title=f"Sweep ({len(plan)} runs)",
+        )
+        print(outcome.report_path.read_text(encoding="utf-8").rstrip())
+        print(f"Report saved to {outcome.report_path}")
+        if outcome.unfinished:
+            print(
+                f"{len(outcome.unfinished)} run(s) unfinished: {', '.join(outcome.unfinished)}"
+                " — see FAILED.txt in the run directories, or re-launch the sweep to retry"
+            )
+            return 1
         return 0
 
     if args.command == "report":
-        print(runner.report(root=args.workdir))
+        print(runner.report(root=args.workdir, lock_ttl=args.lock_ttl))
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

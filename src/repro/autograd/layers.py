@@ -8,7 +8,7 @@ MLP) on top of the autograd engine.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 

@@ -7,11 +7,10 @@ estimation network; both are provided here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
-from repro.autograd.module import Parameter
 from repro.autograd.tensor import Tensor
 
 

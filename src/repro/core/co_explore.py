@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.functional import cross_entropy
 from repro.autograd.optim import Adam, SGD
 from repro.autograd.scheduler import CosineAnnealingLR
 from repro.autograd.tensor import Tensor

@@ -12,7 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.autograd.functional import accuracy, cross_entropy
+from repro.autograd.functional import cross_entropy
 from repro.autograd.module import Module
 from repro.autograd.optim import SGD
 from repro.autograd.scheduler import CosineAnnealingLR

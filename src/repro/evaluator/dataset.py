@@ -15,7 +15,7 @@ Here the toolchain is :mod:`repro.hwmodel`; this module
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
 import numpy as np

@@ -20,7 +20,7 @@ from repro.autograd.scheduler import StepLR
 from repro.autograd.tensor import Tensor
 from repro.evaluator.cost_estimation_net import CostEstimationNetwork
 from repro.evaluator.dataset import EvaluatorDataset
-from repro.evaluator.encoding import HW_FIELD_ORDER, METRIC_ORDER
+from repro.evaluator.encoding import HW_FIELD_ORDER
 from repro.evaluator.evaluator import Evaluator
 from repro.evaluator.hw_generation_net import HardwareGenerationNetwork
 from repro.utils.logging import get_logger

@@ -9,7 +9,13 @@ and sweep every search method.
   (fixed per-stage seed offsets);
 * :class:`~repro.experiments.runner.Runner` — the step loop with periodic
   lossless checkpointing and bit-identical resume, plus multi-method /
-  multi-seed sweeps and result reporting.
+  multi-seed sweeps and result reporting;
+* :mod:`~repro.experiments.sweep` — parallel sharded sweep execution:
+  :class:`~repro.experiments.sweep.SweepPlan` (grid expansion + CI shard
+  slicing), :class:`~repro.experiments.sweep.WorkQueue` (crash-safe
+  file-lock work queue over run directories) and
+  :class:`~repro.experiments.sweep.ParallelRunner` (``--jobs N`` workers,
+  results bit-identical to the serial path).
 
 The ``python -m repro`` CLI (see ``docs/cli.md``) is a thin wrapper over
 this package.
@@ -27,6 +33,15 @@ from repro.experiments.factory import (
     build_search_space,
 )
 from repro.experiments.runner import Runner
+from repro.experiments.sweep import (
+    ParallelRunner,
+    SweepPlan,
+    WorkItem,
+    WorkQueue,
+    execute_queued,
+    parse_shard,
+    run_sweep,
+)
 
 __all__ = [
     "Searcher",
@@ -40,4 +55,11 @@ __all__ = [
     "build_hw_space",
     "build_search_space",
     "Runner",
+    "ParallelRunner",
+    "SweepPlan",
+    "WorkItem",
+    "WorkQueue",
+    "execute_queued",
+    "parse_shard",
+    "run_sweep",
 ]

@@ -76,11 +76,16 @@ class ExperimentConfig:
     retrain_final: bool = True
 
     # -- orchestration --------------------------------------------------
-    checkpoint_every: int = 1    # steps between checkpoints; 0 disables
+    # Steps between checkpoints; 0 disables.  Crash recovery in parallel
+    # sweeps (repro.experiments.sweep) resumes a dead worker's run from its
+    # last checkpoint, so disabling checkpoints means re-running from step 0.
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
             raise ValueError(f"unknown method {self.method!r}; expected one of {sorted(METHODS)}")
+        if self.checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
         if self.task not in ("cifar", "imagenet"):
             raise ValueError(f"unknown task {self.task!r}; expected 'cifar' or 'imagenet'")
         if self.hw_space not in ("tiny", "full"):

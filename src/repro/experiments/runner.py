@@ -20,11 +20,11 @@ by ``tests/test_experiments.py``).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SearchResult, format_comparison_table, format_results_table
 from repro.data.synthetic import ImageClassificationDataset
-from repro.experiments.config import METHODS, ExperimentConfig
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.factory import build_components
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_checkpoint, load_json, save_checkpoint, save_json
@@ -56,6 +56,7 @@ class Runner:
         checkpoint_every: int = 0,
         max_steps: Optional[int] = None,
         state: Optional[Dict[str, Any]] = None,
+        on_step: Optional[Callable[[int], None]] = None,
     ) -> Optional[SearchResult]:
         """Drive a searcher through setup / steps / finish, checkpointing as asked.
 
@@ -63,6 +64,10 @@ class Runner:
         run is checkpointed and ``None`` is returned when the bound stops it
         early — the programmatic equivalent of killing the process).
         ``state`` is a checkpointed searcher snapshot to resume from.
+        ``on_step`` is called with ``steps_completed`` after every step (and
+        its checkpoint, if any), as well as once after setup/state-restore
+        and once right before ``finish`` — the work-queue workers use it to
+        heartbeat their claim locks, so it fires at every phase boundary.
         """
         if method_name is not None:
             searcher.method_name = method_name
@@ -79,6 +84,8 @@ class Runner:
                 searcher.steps_completed,
                 searcher.num_steps,
             )
+        if on_step is not None:
+            on_step(searcher.steps_completed)
         executed = 0
         while searcher.steps_completed < searcher.num_steps:
             if max_steps is not None and executed >= max_steps:
@@ -99,6 +106,11 @@ class Runner:
                 and searcher.steps_completed % checkpoint_every == 0
             ):
                 self._checkpoint(searcher, workdir)
+            if on_step is not None:
+                on_step(searcher.steps_completed)
+        if on_step is not None:
+            # Last refresh before the (long, unhooked) final retraining.
+            on_step(searcher.steps_completed)
         result = searcher.finish(retrain_final=retrain_final)
         if workdir is not None:
             save_json(result.to_dict(), workdir / RESULT_FILE)
@@ -131,6 +143,7 @@ class Runner:
         resume: bool = False,
         max_steps: Optional[int] = None,
         method_name: Optional[str] = None,
+        on_step: Optional[Callable[[int], None]] = None,
     ) -> Optional[SearchResult]:
         """Execute (or, with ``resume=True``, continue) one configured run.
 
@@ -180,6 +193,7 @@ class Runner:
             checkpoint_every=config.checkpoint_every,
             max_steps=max_steps,
             state=state,
+            on_step=on_step,
         )
 
     def resume(
@@ -221,30 +235,40 @@ class Runner:
         methods: Optional[Sequence[str]] = None,
         seeds: Optional[Sequence[int]] = None,
         title: Optional[str] = None,
+        jobs: int = 1,
+        shard: Optional[Tuple[int, int]] = None,
+        lock_ttl: Optional[float] = None,
     ) -> List[SearchResult]:
         """Run every (method, seed) combination and write a combined report.
 
+        All sweeps — serial and parallel — go through the crash-safe work
+        queue of :mod:`repro.experiments.sweep`: ``jobs`` workers claim runs
+        via per-directory file locks, ``shard=(i, of)`` restricts this
+        invocation to the i-th of ``of`` disjoint grid slices (CI fan-out).
         Finished sub-runs are skipped (their saved results are reused), so an
-        interrupted sweep is simply re-launched.
+        interrupted sweep is simply re-launched.  Raises ``RuntimeError`` if
+        any run of this invocation's slice did not finish; partial progress
+        is kept on disk and reported by :meth:`report`.
         """
-        methods = list(methods) if methods is not None else [base_config.method]
-        seeds = list(seeds) if seeds is not None else [base_config.seed]
-        for method in methods:
-            if method not in METHODS:
-                raise ValueError(f"unknown method {method!r}; expected one of {sorted(METHODS)}")
-        results: List[SearchResult] = []
-        for method in methods:
-            for seed in seeds:
-                config = base_config.replace(method=method, seed=seed)
-                logger.info("sweep: running %s", config.name)
-                result = self.run(config, resume=True)
-                assert result is not None  # run() only pauses when max_steps is set
-                results.append(result)
-        report = self.format_report(results, title=title or "Sweep results")
-        report_path = self.base_dir / "REPORT.txt"
-        report_path.parent.mkdir(parents=True, exist_ok=True)
-        report_path.write_text(report + "\n", encoding="utf-8")
-        return results
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL, SweepPlan, run_sweep
+
+        plan = SweepPlan.from_grid(base_config, methods=methods, seeds=seeds)
+        if shard is not None:
+            plan = plan.shard(*shard)
+        outcome = run_sweep(
+            plan,
+            base_dir=self.base_dir,
+            jobs=jobs,
+            lock_ttl=DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl,
+            title=title,
+        )
+        if outcome.unfinished:
+            raise RuntimeError(
+                f"sweep left {len(outcome.unfinished)} run(s) unfinished: "
+                f"{outcome.unfinished} — see FAILED.txt in the run directories, "
+                f"or re-launch the sweep to retry"
+            )
+        return outcome.results
 
     def collect_results(self, root: Optional[Union[str, Path]] = None) -> List[SearchResult]:
         """Load every saved ``result.json`` under ``root`` (default: base dir)."""
@@ -265,7 +289,28 @@ class Runner:
         ]
         return "\n".join(parts)
 
-    def report(self, root: Optional[Union[str, Path]] = None) -> str:
-        """Collect saved results and render the combined report."""
+    def report(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        include_status: bool = True,
+        lock_ttl: Optional[float] = None,
+    ) -> str:
+        """Collect saved results and render the combined report.
+
+        With ``include_status`` (the default) the report also aggregates
+        partial or in-flight sweeps: any run directory under ``root`` that
+        has no result yet is listed with its work-queue state (running /
+        checkpointed / failed / pending), so ``python -m repro report`` is
+        useful while a parallel sweep is still executing.  Pass the sweep's
+        ``lock_ttl`` so running-vs-stale classification matches the ttl the
+        workers actually used.
+        """
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL, format_sweep_status, sweep_status
+
         root = Path(root) if root is not None else self.base_dir
-        return self.format_report(self.collect_results(root), title=f"Results under {root}")
+        report = self.format_report(self.collect_results(root), title=f"Results under {root}")
+        if include_status:
+            status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
+            if any(entry["state"] != "finished" for entry in status.values()):
+                report += "\n\n" + format_sweep_status(status)
+        return report

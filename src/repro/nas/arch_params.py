@@ -15,7 +15,7 @@ hardware-cost evaluator, which is exactly what
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.conv import BatchNorm2d, Conv2d, AvgPool2d
+from repro.autograd.conv import BatchNorm2d, Conv2d
 from repro.autograd.layers import Identity, ReLU, Sequential
 from repro.autograd.module import Module
 from repro.autograd.tensor import Tensor, as_tensor

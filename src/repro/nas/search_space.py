@@ -21,13 +21,13 @@ the latter being what the differentiable search manipulates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload, conv_layer
-from repro.nas.operations import CANDIDATE_OPS, NUM_CANDIDATE_OPS, OpSpec, op_workload_layers
+from repro.hwmodel.workload import ConvLayerShape, NetworkWorkload
+from repro.nas.operations import CANDIDATE_OPS, OpSpec, op_workload_layers
 from repro.utils.seeding import as_rng
 
 

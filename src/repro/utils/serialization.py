@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -45,11 +46,21 @@ class _NumpyEncoder(json.JSONEncoder):
 
 
 def save_json(obj: Any, path: Union[str, Path]) -> Path:
-    """Serialise ``obj`` to ``path`` as pretty-printed JSON and return the path."""
+    """Serialise ``obj`` to ``path`` as pretty-printed JSON and return the path.
+
+    Written atomically (temp file + rename): the work queue of
+    :mod:`repro.experiments.sweep` treats the existence of ``result.json``
+    as the run's done marker, so a worker killed mid-write must never leave
+    a truncated file behind.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as handle:
+    # Per-process temp name: even two workers racing on the same run (a
+    # pathological lock takeover) each rename a complete file into place.
+    temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    with temporary.open("w", encoding="utf-8") as handle:
         json.dump(obj, handle, indent=2, cls=_NumpyEncoder)
+    temporary.replace(path)
     return path
 
 
@@ -155,7 +166,7 @@ def save_checkpoint(state: Any, path: Union[str, Path]) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_suffix(path.suffix + ".tmp")
+    temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     with temporary.open("w", encoding="utf-8") as handle:
         json.dump(encode_state(state), handle)
     temporary.replace(path)

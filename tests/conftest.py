@@ -6,7 +6,6 @@ so that the many tests that need them do not rebuild them repeatedly.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import make_cifar_like, train_val_split

@@ -17,7 +17,6 @@ from repro.autograd import (
     Linear,
     LinearWarmup,
     MLP,
-    Module,
     Parameter,
     ReLU,
     ResidualMLPBlock,

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.autograd import Tensor, as_tensor, concatenate, no_grad, stack, where
+from repro.autograd import Tensor, concatenate, no_grad, stack, where
 
 
 def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:

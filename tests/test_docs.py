@@ -7,7 +7,6 @@ standalone), so a broken docs link fails the tier-1 suite locally too.
 from __future__ import annotations
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent

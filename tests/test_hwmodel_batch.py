@@ -260,7 +260,7 @@ class TestDatasetGenerationParity:
     def test_vectorised_labeling_matches_loop(self):
         """The batched dataset path reproduces the historical per-sample loop."""
         from repro.evaluator import generate_evaluator_dataset
-        from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
+        from repro.evaluator.encoding import EvaluatorEncoding
         from repro.utils.seeding import as_rng
 
         nas_space = build_cifar_search_space()

@@ -27,7 +27,6 @@ from repro.hwmodel import (
     edap_cost,
     linear_cost,
     make_linear_cost,
-    tiny_search_space,
     utilization_by_dataflow,
 )
 

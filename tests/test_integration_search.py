@@ -26,7 +26,7 @@ from repro.core import (
 from repro.data import make_cifar_like, train_val_split
 from repro.evaluator import Evaluator, LayerCostTable, generate_evaluator_dataset, train_evaluator
 from repro.hwmodel import tiny_search_space
-from repro.nas import ArchitectureParameters, build_cifar_search_space, op_index
+from repro.nas import ArchitectureParameters, build_cifar_search_space
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,6 @@ import dataclasses
 import logging
 
 import numpy as np
-import pytest
 
 from repro.utils import get_logger, global_rng, load_json, save_json, seed_everything
 from repro.utils.seeding import as_rng

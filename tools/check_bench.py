@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare a fresh ``run_bench.py`` measurement
+against the committed ``BENCH_costmodel.json`` baseline.
+
+Wall-clock seconds are machine-dependent (a CI runner is not the laptop that
+produced the baseline), but each benchmark's *speedup* — the before/after
+ratio measured on the same machine in the same process — is comparable across
+machines.  The gate therefore requires, for every benchmark key present in
+both files::
+
+    fresh.speedup >= max(min_speedup, min_ratio * baseline.speedup)
+
+``min_ratio`` absorbs runner noise (the vectorised "after" timings are tens
+of milliseconds); ``min_speedup`` is the hard floor that catches the real
+failure mode — losing the vectorised path entirely, which collapses the
+speedup to ~1.  Exit code 0 when every key passes, 1 otherwise.
+
+Usage::
+
+    python tools/check_bench.py BENCH_fresh.json [--baseline BENCH_costmodel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -> list:
+    """Per-benchmark ``(key, fresh_speedup, required, passed)`` records.
+
+    Every baseline key must be present in the fresh run — a benchmark that
+    silently disappears from ``run_bench.py`` is itself a regression, so a
+    missing key is reported as a failing row (speedup 0).
+    """
+    rows = []
+    fresh_results = fresh.get("results", {})
+    for key in sorted(baseline.get("results", {})):
+        required = max(min_speedup, min_ratio * float(baseline["results"][key]["speedup"]))
+        if key not in fresh_results:
+            rows.append((key, 0.0, required, False))
+            continue
+        fresh_speedup = float(fresh_results[key]["speedup"])
+        rows.append((key, fresh_speedup, required, fresh_speedup >= required))
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON written by a fresh benchmarks/run_bench.py run")
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_costmodel.json"),
+        help="committed baseline to compare against",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.10,
+        help="fresh speedup must reach this fraction of the baseline speedup (default: 0.10)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="absolute speedup floor for every benchmark (default: 2.0)",
+    )
+    args = parser.parse_args()
+
+    fresh = json.loads(Path(args.fresh).read_text(encoding="utf-8"))
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    if fresh.get("space") != baseline.get("space"):
+        print(
+            f"warning: comparing a {fresh.get('space')!r}-space run against a "
+            f"{baseline.get('space')!r}-space baseline; only the absolute floor applies"
+        )
+        args.min_ratio = 0.0
+
+    rows = compare(fresh, baseline, args.min_ratio, args.min_speedup)
+    if not rows:
+        print("baseline contains no benchmark results")
+        return 1
+
+    failed = [row for row in rows if not row[3]]
+    width = max(len(key) for key, *_ in rows)
+    for key, fresh_speedup, required, passed in rows:
+        verdict = "ok  " if passed else "FAIL"
+        detail = (
+            "MISSING from fresh run"
+            if fresh_speedup == 0.0 and key not in fresh.get("results", {})
+            else f"speedup {fresh_speedup:8.1f}x  (required >= {required:.1f}x)"
+        )
+        print(f"{verdict}  {key:<{width}}  {detail}")
+    if failed:
+        print(f"\nBenchmark regression gate FAILED for {len(failed)}/{len(rows)} benchmark(s).")
+        return 1
+    print(f"\nBenchmark regression gate passed ({len(rows)} benchmark(s)).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
