@@ -33,7 +33,13 @@ import numpy as np
 from bench_utils import bench_scale, legacy_build_cost_table, legacy_generate_evaluator_dataset
 
 from repro.evaluator import generate_evaluator_dataset
-from repro.hwmodel import AcceleratorCostModel, CostTable, HardwareSearchSpace, tiny_search_space
+from repro.hwmodel import (
+    AcceleratorCostModel,
+    CostTable,
+    HardwareSearchSpace,
+    get_backend,
+    tiny_search_space,
+)
 from repro.nas import build_cifar_search_space
 
 
@@ -148,6 +154,38 @@ def main() -> int:
         f"dataset_end_to_end:   {end_to_end_before:8.3f} s -> {end_to_end_after:8.4f} s"
         f"  ({end_to_end_before/end_to_end_after:7.1f}x)"
     )
+
+    # ------------------------------------------------------------------
+    # 5. Non-default backends: batched SoA kernels vs per-pair scalar
+    #    reference (new keys are listed but not gated by check_bench.py
+    #    until the committed baseline includes them)
+    # ------------------------------------------------------------------
+    for backend_name in ("systolic", "simd"):
+        backend = get_backend(backend_name)
+        space = backend.search_space("tiny" if args.tiny else "full")
+        model = AcceleratorCostModel(backend=backend)
+        backend_configs = space.config_list()
+        pair_budget = min(len(layers) * len(backend_configs), 4000)
+        per_layer_backend = max(1, pair_budget // len(backend_configs))
+
+        def scalar_backend_pairs(backend=backend, limit=per_layer_backend, configs=backend_configs):
+            for layer in layers[:limit]:
+                for config in configs:
+                    backend.reference_latency_ms(layer, config, model.technology)
+                    backend.reference_energy_mj(layer, config, model.technology)
+
+        before = _time(scalar_backend_pairs) * (len(layers) / per_layer_backend)
+        after = _time(
+            lambda: model.evaluate_layer_batch(layers, space.config_batch()), repeats=3
+        )
+        key = f"{backend_name}_layer_eval"
+        results[key] = {
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+            "pairs": len(layers) * len(backend_configs),
+        }
+        print(f"{key + ':':<22}{before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
 
     payload = {
         "benchmark": "costmodel",

@@ -5,23 +5,29 @@ Subcommands (full reference with examples in ``docs/cli.md``):
 * ``run``    — launch one configured search (periodically checkpointed);
 * ``resume`` — continue a killed/paused run bit-identically from its
   checkpoint (defaults to the most recent unfinished run);
-* ``sweep``  — run a methods x seeds grid (``--jobs N`` parallel workers,
-  ``--shard I/OF`` for CI fan-out) and write a combined report;
+* ``sweep``  — run a (backends x) methods x seeds grid (``--jobs N``
+  parallel workers, ``--shard I/OF`` for CI fan-out, ``--backends`` to
+  cross hardware backends) and write a combined report;
 * ``report`` — render all saved results as the paper-style tables, plus the
-  state of any partial or in-flight sweep.
+  state of any partial or in-flight sweep (``--format json`` for the
+  machine-readable aggregate).
 
 Examples::
 
     python -m repro run --method dance --seed 0
+    python -m repro run --set backend=systolic --seed 1
     python -m repro resume
     python -m repro sweep --methods baseline baseline_flops dance --seeds 0 1 --jobs 4
     python -m repro sweep --methods dance rl --seeds 0 1 2 --shard 1/3
+    python -m repro sweep --backends eyeriss systolic simd --methods dance --seeds 0
     python -m repro report
+    python -m repro report --format json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -93,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", nargs="+", type=int, default=[0], help="seeds to run")
     sweep.add_argument(
+        "--backends",
+        nargs="+",
+        metavar="BACKEND",
+        help="hardware backends to cross the grid over (default: the config's backend)",
+    )
+    sweep.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
@@ -115,6 +127,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = subparsers.add_parser("report", help="render all saved results as tables")
     report.add_argument("--workdir", help="directory to scan (default: --runs-dir)")
+    report.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text tables (default) or the machine-readable JSON aggregate",
+    )
     report.add_argument(
         "--lock-ttl",
         type=float,
@@ -171,7 +189,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         config = _config_from_args(args)
         try:
-            plan = SweepPlan.from_grid(config, methods=args.methods, seeds=args.seeds)
+            plan = SweepPlan.from_grid(
+                config, methods=args.methods, seeds=args.seeds, backends=args.backends
+            )
             if args.shard:
                 plan = plan.shard(*parse_shard(args.shard))
         except ValueError as error:
@@ -194,7 +214,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        print(runner.report(root=args.workdir, lock_ttl=args.lock_ttl))
+        if args.format == "json":
+            data = runner.report_data(root=args.workdir, lock_ttl=args.lock_ttl)
+            # allow_nan=False: report_data nulls non-finite floats, and this
+            # guarantees the emitted document stays strict RFC-8259 JSON.
+            print(json.dumps(data, indent=2, allow_nan=False))
+        else:
+            print(runner.report(root=args.workdir, lock_ttl=args.lock_ttl))
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.hwmodel.backends.registry import get_backend
 from repro.hwmodel.metrics import HardwareMetrics
 
 
@@ -25,7 +25,9 @@ class SearchResult:
         Validation accuracy of the derived architecture after final training.
     hardware:
         The accelerator configuration chosen for the architecture (from the
-        one-time exact hardware generation after the search).
+        one-time exact hardware generation after the search).  Any backend's
+        configuration type; its ``backend_name`` attribute identifies the
+        design space it belongs to and is persisted alongside the fields.
     metrics:
         Oracle latency / energy / area of the architecture on ``hardware``.
     search_seconds:
@@ -40,11 +42,16 @@ class SearchResult:
     method: str
     op_indices: np.ndarray
     accuracy: float
-    hardware: AcceleratorConfig
+    hardware: object
     metrics: HardwareMetrics
     search_seconds: float
     candidates_trained: int = 1
     history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the hardware backend of the chosen design."""
+        return getattr(self.hardware, "backend_name", "eyeriss")
 
     @property
     def edap(self) -> float:
@@ -76,6 +83,7 @@ class SearchResult:
             "method": self.method,
             "op_indices": [int(index) for index in self.op_indices],
             "accuracy": self.accuracy,
+            "backend": self.backend_name,
             "hardware": self.hardware.as_dict(),
             "metrics": {
                 "latency_ms": self.metrics.latency_ms,
@@ -89,12 +97,14 @@ class SearchResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SearchResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (results saved before the backend era
+        carry no ``backend`` key and default to ``eyeriss``)."""
+        backend = get_backend(data.get("backend", "eyeriss"))
         return cls(
             method=data["method"],
             op_indices=np.asarray(data["op_indices"], dtype=np.int64),
             accuracy=float(data["accuracy"]),
-            hardware=AcceleratorConfig.from_dict(data["hardware"]),
+            hardware=backend.config_from_dict(data["hardware"]),
             metrics=HardwareMetrics(
                 latency_ms=data["metrics"]["latency_ms"],
                 energy_mj=data["metrics"]["energy_mj"],
@@ -104,6 +114,18 @@ class SearchResult:
             candidates_trained=int(data["candidates_trained"]),
             history=list(data["history"]),
         )
+
+
+def _method_label(result: SearchResult) -> str:
+    """Method name, tagged with the backend when it is not the default.
+
+    Cross-backend sweeps put several rows of the same method in one table;
+    the tag is what keeps them tellable apart (run directories and the JSON
+    report carry the same identity).
+    """
+    if result.backend_name == "eyeriss":
+        return result.method
+    return f"{result.method} [{result.backend_name}]"
 
 
 def format_results_table(results: Sequence[SearchResult], title: Optional[str] = None) -> str:
@@ -116,7 +138,7 @@ def format_results_table(results: Sequence[SearchResult], title: Optional[str] =
     lines.append("-" * len(header))
     for result in results:
         lines.append(
-            f"{result.method:<32}"
+            f"{_method_label(result):<32}"
             f"{100.0 * result.accuracy:>9.1f}"
             f"{result.metrics.latency_ms:>10.2f}"
             f"{result.metrics.energy_mj:>9.2f}"
@@ -137,7 +159,7 @@ def format_comparison_table(results: Sequence[SearchResult], title: Optional[str
     for result in results:
         search_type = "gradient" if result.candidates_trained <= 1 else "RL"
         lines.append(
-            f"{result.method:<32}"
+            f"{_method_label(result):<32}"
             f"{100.0 * result.accuracy:>9.1f}"
             f"{result.search_seconds:>11.1f}"
             f"{result.candidates_trained:>13d}"

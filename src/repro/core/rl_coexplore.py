@@ -28,7 +28,6 @@ from repro.core.cost_functions import EDAPCostFunction, HardwareCostFunction
 from repro.core.results import SearchResult
 from repro.core.train_utils import ClassifierTrainingConfig, train_classifier
 from repro.data.synthetic import ImageClassificationDataset
-from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
 from repro.hwmodel.cost_model import CostTable
 from repro.hwmodel.metrics import HardwareMetrics
 from repro.nas.search_space import NASSearchSpace
@@ -89,7 +88,7 @@ class RLCoExplorationSearcher:
     def __init__(
         self,
         search_space: NASSearchSpace,
-        hw_space: HardwareSearchSpace,
+        hw_space,
         cost_table: CostTable,
         cost_function: Optional[HardwareCostFunction] = None,
         config: Optional[RLCoExplorationConfig] = None,
@@ -105,17 +104,17 @@ class RLCoExplorationSearcher:
         self._ready = False
 
     # ------------------------------------------------------------------
-    def _decode_hardware(self, decisions: List[int]) -> AcceleratorConfig:
-        return AcceleratorConfig(
-            pe_x=self.hw_space.pe_x_choices[decisions[0]],
-            pe_y=self.hw_space.pe_y_choices[decisions[1]],
-            rf_size=self.hw_space.rf_choices[decisions[2]],
-            dataflow=self.hw_space.dataflow_choices[decisions[3]],
-        )
+    def _decode_hardware(self, decisions: List[int]):
+        """Map per-field controller decisions onto a backend configuration."""
+        values = {
+            name: self.hw_space.field_choices(name)[decision]
+            for name, decision in zip(self.hw_space.field_names, decisions)
+        }
+        return self.hw_space.backend.make_config(values)
 
     def _candidate_metrics(
         self, op_indices: np.ndarray, hw_decisions: List[int]
-    ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+    ) -> Tuple[object, HardwareMetrics]:
         config = self._decode_hardware(hw_decisions)
         metrics = self.cost_table.metrics_for(op_indices, config)
         return config, metrics
@@ -140,10 +139,7 @@ class RLCoExplorationSearcher:
         self._val_set = val_set
         arch_sizes = [self.search_space.num_ops] * self.search_space.num_searchable
         hw_sizes = [
-            len(self.hw_space.pe_x_choices),
-            len(self.hw_space.pe_y_choices),
-            len(self.hw_space.rf_choices),
-            len(self.hw_space.dataflow_choices),
+            len(self.hw_space.field_choices(name)) for name in self.hw_space.field_names
         ]
         self._controller = _SoftmaxController(
             arch_sizes + hw_sizes, lr=self.config.controller_lr, rng=self._rng
@@ -298,7 +294,7 @@ class RLCoExplorationSearcher:
             self._best = {
                 "reward": float(best["reward"]),
                 "op_indices": np.asarray(best["op_indices"], dtype=np.int64),
-                "hw_config": AcceleratorConfig.from_dict(best["hw_config"]),
+                "hw_config": self.hw_space.backend.config_from_dict(best["hw_config"]),
                 "metrics": HardwareMetrics(
                     latency_ms=best["metrics"]["latency_ms"],
                     energy_mj=best["metrics"]["energy_mj"],

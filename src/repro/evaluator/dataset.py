@@ -20,8 +20,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
-from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
-from repro.hwmodel.accelerator import HardwareSearchSpace
+from repro.evaluator.encoding import EvaluatorEncoding
 from repro.hwmodel.cost_model import CostTable
 from repro.hwmodel.metrics import HardwareMetrics, edap_cost
 from repro.nas.search_space import NASSearchSpace
@@ -97,7 +96,7 @@ class EvaluatorDataset:
 
 def generate_evaluator_dataset(
     nas_space: NASSearchSpace,
-    hw_space: HardwareSearchSpace,
+    hw_space,
     num_samples: int,
     cost_table: Optional[CostTable] = None,
     cost_function: CostFunction = edap_cost,
@@ -131,7 +130,8 @@ def generate_evaluator_dataset(
     arch_encodings = np.zeros((num_samples, encoding.arch_width))
     hw_encodings = np.zeros((num_samples, encoding.hw_width))
     hw_labels: Dict[str, np.ndarray] = {
-        field_name: np.zeros(num_samples, dtype=np.int64) for field_name in HW_FIELD_ORDER
+        field_name: np.zeros(num_samples, dtype=np.int64)
+        for field_name in encoding.hw_field_order
     }
     metric_targets = np.zeros((num_samples, encoding.num_metrics))
 
@@ -165,7 +165,7 @@ def generate_evaluator_dataset(
             arch_indices[start:stop], cost_function=cost_function
         )
         hw_encodings[start:stop] = config_encodings[best]
-        for field_name in HW_FIELD_ORDER:
+        for field_name in encoding.hw_field_order:
             hw_labels[field_name][start:stop] = config_class_indices[field_name][best]
         metric_targets[start:stop, 0] = latency
         metric_targets[start:stop, 1] = energy

@@ -14,14 +14,17 @@ networks and the ground-truth generator cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
-from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
+from repro.hwmodel.accelerator import HardwareSearchSpace
+from repro.hwmodel.backends.base import SearchSpaceBase
 from repro.nas.search_space import NASSearchSpace
 
-#: Order in which hardware design fields appear in encodings and network heads.
+#: Hardware field order of the default ``eyeriss`` backend (kept for
+#: backwards compatibility; backend-generic code reads the order from
+#: :attr:`EvaluatorEncoding.hw_field_order` instead).
 HW_FIELD_ORDER: Tuple[str, ...] = ("pe_x", "pe_y", "rf_size", "dataflow")
 
 #: Order of the regressed cost metrics.
@@ -30,10 +33,15 @@ METRIC_ORDER: Tuple[str, ...] = ("latency_ms", "energy_mj", "area_mm2")
 
 @dataclass(frozen=True)
 class EvaluatorEncoding:
-    """Joint description of the architecture and hardware encodings."""
+    """Joint description of the architecture and hardware encodings.
+
+    The hardware side is derived entirely from the backend's field spec
+    (names, per-field one-hot widths, encoding order), so the evaluator
+    networks adapt to whichever backend the ``hw_space`` belongs to.
+    """
 
     nas_space: NASSearchSpace
-    hw_space: HardwareSearchSpace
+    hw_space: Union[HardwareSearchSpace, SearchSpaceBase]
 
     @property
     def arch_width(self) -> int:
@@ -44,6 +52,16 @@ class EvaluatorEncoding:
     def hw_width(self) -> int:
         """Width of the hardware one-hot encoding."""
         return self.hw_space.encoding_width
+
+    @property
+    def hw_backend_name(self) -> str:
+        """Registry name of the hardware backend behind ``hw_space``."""
+        return self.hw_space.backend_name
+
+    @property
+    def hw_field_order(self) -> Tuple[str, ...]:
+        """Hardware design-field names, in encoding / network-head order."""
+        return self.hw_space.field_names
 
     @property
     def hw_field_sizes(self) -> Dict[str, int]:
@@ -69,15 +87,15 @@ class EvaluatorEncoding:
     # ------------------------------------------------------------------
     # Hardware side
     # ------------------------------------------------------------------
-    def encode_hardware(self, config: AcceleratorConfig) -> np.ndarray:
+    def encode_hardware(self, config) -> np.ndarray:
         """One-hot encode an accelerator configuration."""
         return self.hw_space.encode(config)
 
-    def decode_hardware(self, encoding: np.ndarray) -> AcceleratorConfig:
+    def decode_hardware(self, encoding: np.ndarray):
         """Decode a (possibly soft) hardware encoding to the nearest configuration."""
         return self.hw_space.decode(encoding)
 
-    def hardware_class_indices(self, config: AcceleratorConfig) -> Dict[str, int]:
+    def hardware_class_indices(self, config) -> Dict[str, int]:
         """Per-field class indices of a configuration (classification targets)."""
         return self.hw_space.encode_indices(config)
 

@@ -24,7 +24,6 @@ from repro.autograd.tensor import Tensor, as_tensor, no_grad
 from repro.evaluator.cost_estimation_net import CostEstimationNetwork
 from repro.evaluator.encoding import EvaluatorEncoding
 from repro.evaluator.hw_generation_net import HardwareGenerationNetwork
-from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
 from repro.hwmodel.metrics import HardwareMetrics
 from repro.nas.search_space import NASSearchSpace
 from repro.utils.seeding import as_rng
@@ -36,7 +35,7 @@ class Evaluator(Module):
     def __init__(
         self,
         nas_space: NASSearchSpace,
-        hw_space: HardwareSearchSpace,
+        hw_space,
         feature_forwarding: bool = True,
         gumbel_temperature: float = 1.0,
         hw_hidden_features: int = 128,
@@ -87,7 +86,7 @@ class Evaluator(Module):
     # ------------------------------------------------------------------
     # Non-differentiable convenience inference
     # ------------------------------------------------------------------
-    def predict(self, arch_encoding: np.ndarray) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+    def predict(self, arch_encoding: np.ndarray) -> Tuple[object, HardwareMetrics]:
         """Predict the optimal accelerator and its metrics for one architecture."""
         was_training = self.training
         self.eval()

@@ -2,10 +2,14 @@
 
 A five-layer residual MLP that models the exhaustive hardware-search tool as
 a classification problem: given an architecture encoding it predicts, for
-each hardware design field (PE_X, PE_Y, RF size, dataflow), a distribution
-over the candidate values.  Its Gumbel-softmax output is what gets forwarded
-to the cost estimation network so that the forwarded features stay close to
-the one-hot vectors the cost network was trained on.
+each hardware design field of the active backend (PE_X / PE_Y / RF size /
+dataflow for Eyeriss; rows / cols / accumulator depth for the systolic
+array; and so on), a distribution over the candidate values.  The heads —
+their names, count and widths — are derived from the backend's field spec
+through :class:`~repro.evaluator.encoding.EvaluatorEncoding`, so the
+network adapts to any registered backend.  Its Gumbel-softmax output is
+what gets forwarded to the cost estimation network so that the forwarded
+features stay close to the one-hot vectors the cost network was trained on.
 """
 
 from __future__ import annotations
@@ -19,8 +23,7 @@ from repro.autograd.functional import gumbel_softmax, softmax
 from repro.autograd.layers import Linear, MLP
 from repro.autograd.module import Module
 from repro.autograd.tensor import Tensor, as_tensor, no_grad
-from repro.evaluator.encoding import HW_FIELD_ORDER, EvaluatorEncoding
-from repro.hwmodel.accelerator import AcceleratorConfig
+from repro.evaluator.encoding import EvaluatorEncoding
 from repro.utils.seeding import as_rng
 
 
@@ -37,6 +40,7 @@ class HardwareGenerationNetwork(Module):
         super().__init__()
         generator = as_rng(rng)
         self.encoding = encoding
+        self.field_order = encoding.hw_field_order
         self.field_sizes = encoding.hw_field_sizes
         self.trunk = MLP(
             in_features=encoding.arch_width,
@@ -48,7 +52,7 @@ class HardwareGenerationNetwork(Module):
             rng=generator,
         )
         self.heads: Dict[str, Linear] = {}
-        for field_name in HW_FIELD_ORDER:
+        for field_name in self.field_order:
             head = Linear(hidden_features, self.field_sizes[field_name], rng=generator)
             self.add_module(f"head_{field_name}", head)
             self.heads[field_name] = head
@@ -62,7 +66,7 @@ class HardwareGenerationNetwork(Module):
         if arch_encoding.ndim == 1:
             arch_encoding = arch_encoding.reshape(1, -1)
         features = self.trunk(arch_encoding).relu()
-        return {field_name: self.heads[field_name](features) for field_name in HW_FIELD_ORDER}
+        return {field_name: self.heads[field_name](features) for field_name in self.field_order}
 
     def forward_probabilities(self, arch_encoding: Tensor) -> Dict[str, Tensor]:
         """Per-field softmax probabilities."""
@@ -85,46 +89,39 @@ class HardwareGenerationNetwork(Module):
         logits = self.forward(arch_encoding)
         pieces = [
             gumbel_softmax(logits[field_name], temperature=temperature, hard=hard, rng=rng)
-            for field_name in HW_FIELD_ORDER
+            for field_name in self.field_order
         ]
         return concatenate(pieces, axis=-1)
 
     def forward_soft_encoding(self, arch_encoding: Tensor) -> Tensor:
         """Concatenated plain-softmax hardware encoding (no Gumbel noise)."""
         probabilities = self.forward_probabilities(arch_encoding)
-        return concatenate([probabilities[name] for name in HW_FIELD_ORDER], axis=-1)
+        return concatenate([probabilities[name] for name in self.field_order], axis=-1)
 
     # ------------------------------------------------------------------
     # Discrete prediction
     # ------------------------------------------------------------------
-    def predict_config(self, arch_encoding: np.ndarray) -> AcceleratorConfig:
-        """Predict the optimal accelerator configuration for one architecture."""
+    def predict_config(self, arch_encoding: np.ndarray):
+        """Predict the optimal accelerator configuration for one architecture.
+
+        The per-head argmax values are assembled into a configuration of the
+        backend owning the hardware space.
+        """
         with no_grad():
             logits = self.forward(Tensor(np.asarray(arch_encoding).reshape(1, -1)))
         hw_space = self.encoding.hw_space
-        choices = {
-            "pe_x": hw_space.pe_x_choices,
-            "pe_y": hw_space.pe_y_choices,
-            "rf_size": hw_space.rf_choices,
-            "dataflow": hw_space.dataflow_choices,
-        }
         selected = {}
-        for field_name in HW_FIELD_ORDER:
+        for field_name in self.field_order:
             index = int(logits[field_name].data.reshape(-1, self.field_sizes[field_name]).argmax(axis=-1)[0])
-            selected[field_name] = choices[field_name][index]
-        return AcceleratorConfig(
-            pe_x=int(selected["pe_x"]),
-            pe_y=int(selected["pe_y"]),
-            rf_size=int(selected["rf_size"]),
-            dataflow=selected["dataflow"],
-        )
+            selected[field_name] = hw_space.field_choices(field_name)[index]
+        return hw_space.backend.make_config(selected)
 
     def field_accuracy(self, arch_encodings: np.ndarray, hw_class_indices: Dict[str, np.ndarray]) -> Dict[str, float]:
         """Per-field top-1 accuracy against oracle labels."""
         with no_grad():
             logits = self.forward(Tensor(np.asarray(arch_encodings)))
         accuracies: Dict[str, float] = {}
-        for field_name in HW_FIELD_ORDER:
+        for field_name in self.field_order:
             predictions = logits[field_name].data.argmax(axis=-1)
             targets = np.asarray(hw_class_indices[field_name]).reshape(-1)
             accuracies[field_name] = float((predictions == targets).mean())

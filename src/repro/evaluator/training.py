@@ -20,7 +20,6 @@ from repro.autograd.scheduler import StepLR
 from repro.autograd.tensor import Tensor
 from repro.evaluator.cost_estimation_net import CostEstimationNetwork
 from repro.evaluator.dataset import EvaluatorDataset
-from repro.evaluator.encoding import HW_FIELD_ORDER
 from repro.evaluator.evaluator import Evaluator
 from repro.evaluator.hw_generation_net import HardwareGenerationNetwork
 from repro.utils.logging import get_logger
@@ -65,7 +64,7 @@ def train_hw_generation_network(
             arch = Tensor(train_data.arch_encodings[batch_indices])
             logits = network(arch)
             loss = None
-            for field_name in HW_FIELD_ORDER:
+            for field_name in network.field_order:
                 targets = train_data.hw_class_indices[field_name][batch_indices]
                 field_loss = cross_entropy(logits[field_name], targets)
                 loss = field_loss if loss is None else loss + field_loss

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.utils.serialization import load_json, save_json
+from repro.utils.text import did_you_mean as _did_you_mean
 
 #: CLI method keys mapped to the human-readable names used in the paper tables.
 METHODS: Dict[str, str] = {
@@ -51,7 +52,8 @@ class ExperimentConfig:
     trainable_base_channels: int = 8
 
     # -- hardware design space H and cost function ---------------------
-    hw_space: str = "tiny"       # "tiny" (81 configs) | "full" (1215 configs)
+    backend: str = "eyeriss"     # any registered hardware backend (see docs/backends.md)
+    hw_space: str = "tiny"       # "tiny" (fast preset) | "full" (whole space)
     cost: str = "edap"           # "edap" | "linear"
     lambda_latency: float = 4.1
     lambda_energy: float = 4.8
@@ -92,12 +94,28 @@ class ExperimentConfig:
             raise ValueError(f"unknown hw_space {self.hw_space!r}; expected 'tiny' or 'full'")
         if self.cost not in ("edap", "linear"):
             raise ValueError(f"unknown cost {self.cost!r}; expected 'edap' or 'linear'")
+        from repro.hwmodel.backends import available_backends
+
+        known = available_backends()
+        if self.backend not in known:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {list(known)}"
+                f"{_did_you_mean(self.backend, known)}"
+            )
 
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
-        """Directory-friendly run identifier."""
-        return f"{self.method}-{self.task}-seed{self.seed}"
+        """Directory-friendly run identifier.
+
+        The default backend keeps the historical ``method-task-seedN`` form;
+        other backends append their name so cross-backend sweep grids map
+        each run to its own directory.
+        """
+        base = f"{self.method}-{self.task}-seed{self.seed}"
+        if self.backend != "eyeriss":
+            return f"{base}-{self.backend}"
+        return base
 
     @property
     def method_name(self) -> str:
@@ -118,11 +136,13 @@ class ExperimentConfig:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentConfig":
-        """Build a config from a dict, rejecting unknown keys loudly."""
+        """Build a config from a dict, rejecting unknown keys loudly
+        (with a closest-match hint, so typos never silently run defaults)."""
         known = {field.name for field in dataclasses.fields(cls)}
-        unknown = set(data) - known
+        unknown = sorted(set(data) - known)
         if unknown:
-            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+            hints = "".join(_did_you_mean(key, known) for key in unknown)
+            raise ValueError(f"unknown config keys: {unknown}{hints}")
         return cls(**data)
 
     def replace(self, **overrides: Any) -> "ExperimentConfig":
@@ -130,10 +150,14 @@ class ExperimentConfig:
         return dataclasses.replace(self, **overrides)
 
     def apply_override(self, key: str, raw_value: str) -> "ExperimentConfig":
-        """Apply one ``key=value`` CLI override with field-typed coercion."""
+        """Apply one ``key=value`` CLI override with field-typed coercion.
+
+        Unknown keys are rejected with a closest-match hint — a typo'd
+        ``--set`` target must never silently run the default instead.
+        """
         fields = {field.name: field for field in dataclasses.fields(self)}
         if key not in fields:
-            raise ValueError(f"unknown config key {key!r}")
+            raise ValueError(f"unknown config key {key!r}{_did_you_mean(key, fields)}")
         current = getattr(self, key)
         if isinstance(current, bool):
             lowered = raw_value.lower()

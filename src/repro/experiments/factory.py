@@ -14,7 +14,7 @@ from ``config.seed``, so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.core import (
     BaselineConfig,
@@ -31,7 +31,8 @@ from repro.data import make_cifar_like, make_imagenet_like, train_val_split
 from repro.data.synthetic import ImageClassificationDataset
 from repro.evaluator import Evaluator, generate_evaluator_dataset, train_evaluator
 from repro.experiments.config import ExperimentConfig
-from repro.hwmodel import HardwareSearchSpace, tiny_search_space
+from repro.hwmodel import HardwareSearchSpace, get_backend
+from repro.hwmodel.backends.base import SearchSpaceBase
 from repro.hwmodel.cost_model import CostTable
 from repro.nas import build_cifar_search_space, build_imagenet_search_space
 from repro.nas.search_space import NASSearchSpace
@@ -55,7 +56,7 @@ class ExperimentComponents:
 
     config: ExperimentConfig
     nas_space: NASSearchSpace
-    hw_space: HardwareSearchSpace
+    hw_space: Union[HardwareSearchSpace, SearchSpaceBase]
     cost_table: CostTable
     cost_function: HardwareCostFunction
     train_set: ImageClassificationDataset
@@ -75,9 +76,9 @@ def build_search_space(config: ExperimentConfig) -> NASSearchSpace:
     )
 
 
-def build_hw_space(config: ExperimentConfig) -> HardwareSearchSpace:
-    """The hardware space H (81-config ``tiny`` or full 1215-config)."""
-    return tiny_search_space() if config.hw_space == "tiny" else HardwareSearchSpace()
+def build_hw_space(config: ExperimentConfig) -> Union[HardwareSearchSpace, SearchSpaceBase]:
+    """The hardware design space of ``config.backend`` (``tiny``/``full`` preset)."""
+    return get_backend(config.backend).search_space(config.hw_space)
 
 
 def build_cost_function(config: ExperimentConfig) -> HardwareCostFunction:
@@ -115,7 +116,7 @@ def build_datasets(
 def build_evaluator(
     config: ExperimentConfig,
     nas_space: NASSearchSpace,
-    hw_space: HardwareSearchSpace,
+    hw_space: Union[HardwareSearchSpace, SearchSpaceBase],
     cost_table: CostTable,
     train: bool = True,
 ) -> Evaluator:

@@ -19,6 +19,7 @@ by ``tests/test_experiments.py``).
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,23 @@ logger = get_logger("experiments.runner")
 CONFIG_FILE = "config.json"
 CHECKPOINT_FILE = "checkpoint.json"
 RESULT_FILE = "result.json"
+
+
+def _json_safe(value: Any) -> Any:
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+    (invalid per RFC 8259), which non-Python consumers of the machine-
+    readable report reject outright.  Accuracy is legitimately NaN for
+    ``retrain_final=false`` runs, so this must be handled, not forbidden.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
 
 
 class Runner:
@@ -238,13 +256,15 @@ class Runner:
         jobs: int = 1,
         shard: Optional[Tuple[int, int]] = None,
         lock_ttl: Optional[float] = None,
+        backends: Optional[Sequence[str]] = None,
     ) -> List[SearchResult]:
-        """Run every (method, seed) combination and write a combined report.
+        """Run every (backend, method, seed) combination and write a report.
 
         All sweeps — serial and parallel — go through the crash-safe work
         queue of :mod:`repro.experiments.sweep`: ``jobs`` workers claim runs
         via per-directory file locks, ``shard=(i, of)`` restricts this
-        invocation to the i-th of ``of`` disjoint grid slices (CI fan-out).
+        invocation to the i-th of ``of`` disjoint grid slices (CI fan-out),
+        and ``backends`` crosses the grid over several hardware backends.
         Finished sub-runs are skipped (their saved results are reused), so an
         interrupted sweep is simply re-launched.  Raises ``RuntimeError`` if
         any run of this invocation's slice did not finish; partial progress
@@ -252,7 +272,7 @@ class Runner:
         """
         from repro.experiments.sweep import DEFAULT_LOCK_TTL, SweepPlan, run_sweep
 
-        plan = SweepPlan.from_grid(base_config, methods=methods, seeds=seeds)
+        plan = SweepPlan.from_grid(base_config, methods=methods, seeds=seeds, backends=backends)
         if shard is not None:
             plan = plan.shard(*shard)
         outcome = run_sweep(
@@ -314,3 +334,40 @@ class Runner:
             if any(entry["state"] != "finished" for entry in status.values()):
                 report += "\n\n" + format_sweep_status(status)
         return report
+
+    def report_data(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        lock_ttl: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Machine-readable report: saved results plus sweep/queue status.
+
+        The JSON-safe dict behind ``python -m repro report --format json``:
+        every saved result (via :meth:`SearchResult.to_dict`, so finite
+        metrics survive bit-exactly; non-finite floats such as the NaN
+        accuracy of ``retrain_final=false`` runs become ``null`` so the
+        output stays strict RFC-8259 JSON), the work-queue state of every
+        run directory (running / stale / checkpointed / failed / pending /
+        finished), and a per-state summary — the aggregation groundwork for
+        downstream result analytics.
+        """
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL, sweep_status
+
+        root = Path(root) if root is not None else self.base_dir
+        results = self.collect_results(root)
+        status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
+        states: Dict[str, int] = {}
+        for entry in status.values():
+            states[entry["state"]] = states.get(entry["state"], 0) + 1
+        return _json_safe(
+            {
+                "root": str(root),
+                "results": [result.to_dict() for result in results],
+                "runs": status,
+                "summary": {
+                    "results": len(results),
+                    "run_dirs": len(status),
+                    "states": states,
+                },
+            }
+        )

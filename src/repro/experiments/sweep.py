@@ -85,19 +85,24 @@ class SweepPlan:
         base_config: ExperimentConfig,
         methods: Optional[Sequence[str]] = None,
         seeds: Optional[Sequence[int]] = None,
+        backends: Optional[Sequence[str]] = None,
     ) -> "SweepPlan":
-        """Expand ``base_config`` into the (method, seed) grid, method-major.
+        """Expand ``base_config`` into the (backend, method, seed) grid.
 
-        The expansion order matches the serial ``Runner.sweep`` loop, so
-        reports list runs identically regardless of execution strategy.
+        Expansion is backend-major, then method-major, matching the serial
+        ``Runner.sweep`` loop, so reports list runs identically regardless
+        of execution strategy.  ``backends`` defaults to the base config's
+        single backend; passing several crosses the whole grid over them.
         """
         methods = list(methods) if methods is not None else [base_config.method]
         seeds = list(seeds) if seeds is not None else [base_config.seed]
+        backends = list(backends) if backends is not None else [base_config.backend]
         for method in methods:
             if method not in METHODS:
                 raise ValueError(f"unknown method {method!r}; expected one of {sorted(METHODS)}")
         items = tuple(
-            WorkItem(base_config.replace(method=method, seed=seed))
+            WorkItem(base_config.replace(backend=backend, method=method, seed=seed))
+            for backend in backends
             for method in methods
             for seed in seeds
         )

@@ -1,20 +1,23 @@
-"""Accelerator hardware cost model (Timeloop + Accelergy substitute).
+"""Accelerator hardware cost models (Timeloop + Accelergy substitute).
 
-This subpackage models an Eyeriss-style DNN accelerator: a 2-D array of
-processing elements with per-PE register files, a shared global buffer and a
-DRAM interface, executing convolution layers under one of three dataflows
-(weight / output / row stationary).  It provides
+This subpackage provides the hardware side of the co-exploration behind a
+pluggable :class:`~repro.hwmodel.backends.base.HardwareBackend` API
+(``docs/backends.md``).  Built-in backends: ``eyeriss`` — the paper's 2-D
+PE array with per-PE register files and WS/OS/RS dataflows (its design
+space is :class:`HardwareSearchSpace`); ``systolic`` — a TPU-like
+weight-stationary MAC grid; ``simd`` — a vector unit with a temporal-only
+mapping.  On top of any backend sit
 
-* the hardware design space H (:class:`HardwareSearchSpace`),
+* the discrete design space (enumeration, sampling, one-hot encoding),
 * an analytical latency / energy / area oracle (:class:`AcceleratorCostModel`),
 * the exhaustive hardware generation tool
   (:class:`ExhaustiveHardwareGenerator`) used for ground truth and for the
   one-time exact generation after the search.
 
-The oracle is organised as a 4-tier pipeline (scalar reference, batched
-:class:`LayerBatch`/:class:`ConfigBatch` kernels, :class:`CostTable`, LRU
-memo); the public API of each tier and a "which tier should I call" guide
-are documented in ``docs/cost_model.md``.
+The oracle is organised as a 4-tier pipeline (per-backend scalar reference,
+batched :class:`LayerBatch` x config-batch kernels, :class:`CostTable`,
+backend-keyed LRU memo); the public API of each tier and a "which tier
+should I call" guide are documented in ``docs/cost_model.md``.
 """
 
 from repro.hwmodel.accelerator import (
@@ -23,6 +26,14 @@ from repro.hwmodel.accelerator import (
     Dataflow,
     HardwareSearchSpace,
     tiny_search_space,
+)
+from repro.hwmodel.backends import (
+    BackendSearchSpace,
+    FieldSpec,
+    HardwareBackend,
+    available_backends,
+    get_backend,
+    register_backend,
 )
 from repro.hwmodel.cost_model import AcceleratorCostModel, CostTable, LayerCostReport
 from repro.hwmodel.dataflow import (
@@ -59,6 +70,12 @@ __all__ = [
     "Dataflow",
     "HardwareSearchSpace",
     "tiny_search_space",
+    "BackendSearchSpace",
+    "FieldSpec",
+    "HardwareBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "AcceleratorCostModel",
     "CostTable",
     "LayerCostReport",

@@ -18,14 +18,13 @@ cost kernels; see ``docs/cost_model.md`` for the cost-pipeline API.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.utils.seeding import as_rng
+from repro.hwmodel.backends.base import FieldSpec, SearchSpaceBase
 
 
 class Dataflow(str, Enum):
@@ -50,6 +49,9 @@ class Dataflow(str, Enum):
 @dataclass(frozen=True)
 class AcceleratorConfig:
     """A single point in the hardware design space."""
+
+    #: Registry name of the backend this configuration belongs to.
+    backend_name = "eyeriss"
 
     pe_x: int
     pe_y: int
@@ -115,6 +117,8 @@ class ConfigBatch:
     integer codes (see :data:`DATAFLOW_CODES`).
     """
 
+    backend_name = "eyeriss"
+
     __slots__ = (
         "configs",
         "pe_x",
@@ -166,13 +170,16 @@ DEFAULT_DATAFLOW_CHOICES: Tuple[Dataflow, ...] = (
 
 
 @dataclass(frozen=True)
-class HardwareSearchSpace:
-    """The discrete hardware design space H.
+class HardwareSearchSpace(SearchSpaceBase):
+    """The discrete hardware design space H of the Eyeriss-style backend.
 
-    Each design parameter has a finite list of candidate values.  The space
-    supports enumeration (for the exhaustive hardware generation oracle),
-    uniform sampling (for generating surrogate training data), and one-hot
-    encoding / decoding (for the evaluator networks).
+    Each design parameter has a finite list of candidate values.  All the
+    space machinery — enumeration (for the exhaustive hardware generation
+    oracle), uniform sampling (for generating surrogate training data) and
+    one-hot encoding / decoding (for the evaluator networks) — is inherited
+    from the backend-generic
+    :class:`~repro.hwmodel.backends.base.SearchSpaceBase`, driven by the
+    field specs this class derives from its choice tuples.
     """
 
     pe_x_choices: Tuple[int, ...] = DEFAULT_PE_X_CHOICES
@@ -196,134 +203,32 @@ class HardwareSearchSpace:
             tuple(Dataflow.from_name(d) for d in self.dataflow_choices),
         )
 
-    # ------------------------------------------------------------------
-    # Size / enumeration
-    # ------------------------------------------------------------------
     @property
-    def field_sizes(self) -> Dict[str, int]:
-        """Number of candidate values per design parameter."""
-        return {
-            "pe_x": len(self.pe_x_choices),
-            "pe_y": len(self.pe_y_choices),
-            "rf_size": len(self.rf_choices),
-            "dataflow": len(self.dataflow_choices),
-        }
+    def backend(self):
+        """The registered Eyeriss backend (resolved lazily to avoid an import cycle)."""
+        try:
+            return self._backend  # type: ignore[attr-defined]
+        except AttributeError:
+            from repro.hwmodel.backends.registry import get_backend
+
+            backend = get_backend("eyeriss")
+            object.__setattr__(self, "_backend", backend)
+            return backend
 
     @property
-    def encoding_width(self) -> int:
-        """Width of the concatenated one-hot encoding of a configuration."""
-        return sum(self.field_sizes.values())
-
-    def __len__(self) -> int:
-        sizes = self.field_sizes
-        return sizes["pe_x"] * sizes["pe_y"] * sizes["rf_size"] * sizes["dataflow"]
-
-    def __iter__(self) -> Iterator[AcceleratorConfig]:
-        return self.enumerate()
-
-    def enumerate(self) -> Iterator[AcceleratorConfig]:
-        """Yield every configuration in the space (the oracle's search set)."""
-        for pe_x, pe_y, rf, dataflow in itertools.product(
-            self.pe_x_choices, self.pe_y_choices, self.rf_choices, self.dataflow_choices
-        ):
-            yield AcceleratorConfig(pe_x=pe_x, pe_y=pe_y, rf_size=rf, dataflow=dataflow)
-
-    def config_list(self) -> List[AcceleratorConfig]:
-        """Materialised (and cached) list of every configuration in the space."""
+    def fields(self) -> Tuple[FieldSpec, ...]:
+        """Ordered field specs (pe_x, pe_y, rf_size, dataflow)."""
         try:
-            return self._config_list  # type: ignore[attr-defined]
+            return self._fields  # type: ignore[attr-defined]
         except AttributeError:
-            configs = list(self.enumerate())
-            object.__setattr__(self, "_config_list", configs)
-            return configs
-
-    def config_batch(self) -> ConfigBatch:
-        """Cached structure-of-arrays batch over the whole space."""
-        try:
-            return self._config_batch  # type: ignore[attr-defined]
-        except AttributeError:
-            batch = ConfigBatch(self.config_list())
-            object.__setattr__(self, "_config_batch", batch)
-            return batch
-
-    def contains(self, config: AcceleratorConfig) -> bool:
-        """Return whether ``config`` lies in the discretised space."""
-        return (
-            config.pe_x in self.pe_x_choices
-            and config.pe_y in self.pe_y_choices
-            and config.rf_size in self.rf_choices
-            and config.dataflow in self.dataflow_choices
-        )
-
-    def sample(self, rng: Optional[Union[int, np.random.Generator]] = None) -> AcceleratorConfig:
-        """Sample a configuration uniformly at random."""
-        generator = as_rng(rng)
-        return AcceleratorConfig(
-            pe_x=int(generator.choice(self.pe_x_choices)),
-            pe_y=int(generator.choice(self.pe_y_choices)),
-            rf_size=int(generator.choice(self.rf_choices)),
-            dataflow=self.dataflow_choices[int(generator.integers(len(self.dataflow_choices)))],
-        )
-
-    # ------------------------------------------------------------------
-    # Encoding
-    # ------------------------------------------------------------------
-    def encode(self, config: AcceleratorConfig) -> np.ndarray:
-        """One-hot encode a configuration as a flat float vector."""
-        if not self.contains(config):
-            raise ValueError(f"configuration {config} is not in the search space")
-        pieces = []
-        for choices, value in (
-            (self.pe_x_choices, config.pe_x),
-            (self.pe_y_choices, config.pe_y),
-            (self.rf_choices, config.rf_size),
-            (self.dataflow_choices, config.dataflow),
-        ):
-            onehot = np.zeros(len(choices), dtype=np.float64)
-            onehot[list(choices).index(value)] = 1.0
-            pieces.append(onehot)
-        return np.concatenate(pieces)
-
-    def encode_indices(self, config: AcceleratorConfig) -> Dict[str, int]:
-        """Return the per-field class indices of ``config`` (for CE training)."""
-        if not self.contains(config):
-            raise ValueError(f"configuration {config} is not in the search space")
-        return {
-            "pe_x": list(self.pe_x_choices).index(config.pe_x),
-            "pe_y": list(self.pe_y_choices).index(config.pe_y),
-            "rf_size": list(self.rf_choices).index(config.rf_size),
-            "dataflow": list(self.dataflow_choices).index(config.dataflow),
-        }
-
-    def decode(self, encoding: np.ndarray) -> AcceleratorConfig:
-        """Decode a (possibly soft) encoding back to the nearest configuration."""
-        encoding = np.asarray(encoding, dtype=np.float64).reshape(-1)
-        if encoding.shape[0] != self.encoding_width:
-            raise ValueError(
-                f"expected encoding of width {self.encoding_width}, got {encoding.shape[0]}"
+            fields = (
+                FieldSpec("pe_x", self.pe_x_choices),
+                FieldSpec("pe_y", self.pe_y_choices),
+                FieldSpec("rf_size", self.rf_choices),
+                FieldSpec("dataflow", self.dataflow_choices),
             )
-        offset = 0
-        values: List[Union[int, Dataflow]] = []
-        for choices in (self.pe_x_choices, self.pe_y_choices, self.rf_choices, self.dataflow_choices):
-            segment = encoding[offset : offset + len(choices)]
-            values.append(choices[int(np.argmax(segment))])
-            offset += len(choices)
-        return AcceleratorConfig(
-            pe_x=int(values[0]),
-            pe_y=int(values[1]),
-            rf_size=int(values[2]),
-            dataflow=values[3],  # type: ignore[arg-type]
-        )
-
-    def field_slices(self) -> Dict[str, slice]:
-        """Return the slice of the flat encoding owned by each design field."""
-        sizes = self.field_sizes
-        slices: Dict[str, slice] = {}
-        offset = 0
-        for field in ("pe_x", "pe_y", "rf_size", "dataflow"):
-            slices[field] = slice(offset, offset + sizes[field])
-            offset += sizes[field]
-        return slices
+            object.__setattr__(self, "_fields", fields)
+            return fields
 
 
 def tiny_search_space() -> HardwareSearchSpace:

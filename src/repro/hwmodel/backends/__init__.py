@@ -1,0 +1,42 @@
+"""Pluggable hardware backends behind one cost-table interface.
+
+* :class:`~repro.hwmodel.backends.base.HardwareBackend` — the protocol: a
+  backend declares its discrete design fields, builds configs / SoA batches,
+  and supplies scalar-reference + batched cost kernels;
+* :class:`~repro.hwmodel.backends.base.BackendSearchSpace` — the generic
+  discrete design space (enumeration, sampling, one-hot encode / decode)
+  derived from a backend's field specs;
+* :mod:`~repro.hwmodel.backends.registry` — named lookup and registration;
+  built-ins: ``eyeriss`` (the paper's PE array), ``systolic`` (TPU-like
+  weight-stationary MAC array) and ``simd`` (vector unit, temporal-only
+  mapping).
+
+See ``docs/backends.md`` for the protocol walk-through and how to add a
+fourth backend.
+"""
+
+from repro.hwmodel.backends.base import (
+    BackendSearchSpace,
+    FieldSpec,
+    HardwareBackend,
+    SearchSpaceBase,
+    dram_spill_words,
+    overlapped_latency_ms,
+)
+from repro.hwmodel.backends.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "BackendSearchSpace",
+    "FieldSpec",
+    "HardwareBackend",
+    "SearchSpaceBase",
+    "dram_spill_words",
+    "overlapped_latency_ms",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

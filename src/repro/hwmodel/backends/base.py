@@ -1,0 +1,351 @@
+"""The pluggable ``HardwareBackend`` protocol and the generic design space.
+
+The paper searches one Eyeriss-style design space H; this module is what
+makes the hardware side of the repository *pluggable*: an accelerator family
+is described by a :class:`HardwareBackend` that
+
+* declares its discrete design parameters as ordered :class:`FieldSpec`
+  entries (names + candidate values, per ``"tiny"``/``"full"`` preset),
+* constructs hashable configuration objects and their structure-of-arrays
+  :class:`ConfigBatch`-like form, and
+* supplies the cost kernels — a batched (N layers x M configs) kernel used
+  by every fast tier, plus an independent per-pair scalar reference that the
+  parity tests hold the batched kernel bit-identical to.
+
+Everything above the backend — :class:`~repro.hwmodel.cost_model.CostTable`,
+the LRU memo, the evaluator encodings and all searchers — works purely in
+terms of this protocol, so registering a new backend (see
+:mod:`repro.hwmodel.backends.registry` and ``docs/backends.md``) is enough
+to open a new hardware design space end to end.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.utils.seeding import as_rng
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One discrete design parameter: its name and ordered candidate values."""
+
+    name: str
+    choices: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must not be empty")
+        if len(self.choices) == 0:
+            raise ValueError(f"field {self.name!r} must offer at least one choice")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"field {self.name!r} contains duplicate choices")
+        object.__setattr__(self, "choices", tuple(self.choices))
+
+    @property
+    def size(self) -> int:
+        """Number of candidate values (the field's one-hot width)."""
+        return len(self.choices)
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether every candidate value is a plain integer."""
+        return all(isinstance(value, (int, np.integer)) for value in self.choices)
+
+    def index_of(self, value: Any) -> int:
+        """Position of ``value`` among the candidates (ValueError if absent)."""
+        try:
+            return list(self.choices).index(value)
+        except ValueError:
+            raise ValueError(
+                f"value {value!r} is not a candidate of field {self.name!r}"
+            ) from None
+
+
+class HardwareBackend(abc.ABC):
+    """An accelerator family exposed through the shared cost-table interface.
+
+    Subclasses set :attr:`name` and :attr:`config_type`, declare their field
+    specs, and implement the config/batch constructors plus the cost kernels.
+    ``config_type`` instances must be hashable, frozen, carry a
+    ``backend_name`` class attribute equal to :attr:`name`, and round-trip
+    through ``as_dict()`` / ``from_dict()``.
+    """
+
+    #: Registry key of the backend (also stored in configs and results).
+    name: ClassVar[str]
+    #: The (frozen, hashable) configuration class of this backend.
+    config_type: ClassVar[type]
+
+    # -- design space ---------------------------------------------------
+    @abc.abstractmethod
+    def fields(self, preset: str = "full") -> Tuple[FieldSpec, ...]:
+        """Ordered field specs of the ``"tiny"`` or ``"full"`` space preset."""
+
+    def search_space(self, preset: str = "full") -> "BackendSearchSpace":
+        """The discrete design space of this backend for ``preset``."""
+        return BackendSearchSpace(backend=self, fields=self.fields(preset))
+
+    # -- configurations -------------------------------------------------
+    @abc.abstractmethod
+    def make_config(self, values: Mapping[str, Any]):
+        """Build a configuration from per-field values (keyed by field name)."""
+
+    @abc.abstractmethod
+    def config_values(self, config) -> Tuple[Any, ...]:
+        """The configuration's field values, in field-spec order."""
+
+    def config_to_dict(self, config) -> Dict[str, Any]:
+        """JSON-safe dict form of a configuration."""
+        return config.as_dict()
+
+    def config_from_dict(self, data: Mapping[str, Any]):
+        """Inverse of :meth:`config_to_dict`."""
+        return self.config_type.from_dict(dict(data))
+
+    @abc.abstractmethod
+    def make_batch(self, configs: Sequence[Any]):
+        """Structure-of-arrays batch over ``configs`` (must expose ``row()``,
+        ``__len__``, ``configs`` and a ``backend_name`` attribute)."""
+
+    # -- cost kernels ---------------------------------------------------
+    @abc.abstractmethod
+    def evaluate_layer_batch(
+        self, layers, configs, cost_model
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched cost kernel: ``(latency_ms (N, M), energy_mj (N, M),
+        area_mm2 (M,))`` for N layers x M configurations.
+
+        ``cost_model`` is the owning
+        :class:`~repro.hwmodel.cost_model.AcceleratorCostModel`; kernels read
+        ``cost_model.technology`` (and, for the Eyeriss backend, its shared
+        latency/energy/area sub-models).
+        """
+
+    @abc.abstractmethod
+    def reference_latency_ms(self, layer, config, technology) -> float:
+        """Independent per-pair scalar latency (the parity-test oracle)."""
+
+    @abc.abstractmethod
+    def reference_energy_mj(self, layer, config, technology) -> float:
+        """Independent per-pair scalar energy (the parity-test oracle)."""
+
+    @abc.abstractmethod
+    def reference_area_mm2(self, config, technology) -> float:
+        """Independent scalar die area (the parity-test oracle)."""
+
+    @abc.abstractmethod
+    def spatial_utilization(self, layer, config) -> float:
+        """Fraction of compute resources usefully busy for ``layer`` (diagnostics)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SearchSpaceBase:
+    """Generic design-space machinery shared by every backend's space.
+
+    Implementations only need to expose :attr:`backend` (a
+    :class:`HardwareBackend`) and :attr:`fields` (ordered
+    :class:`FieldSpec` tuple); enumeration, uniform sampling, one-hot
+    encoding / decoding and the cached config list / batch all follow from
+    those.  The methods mutate nothing, so frozen-dataclass subclasses work
+    (caches are attached via ``object.__setattr__``).
+    """
+
+    # Subclasses provide these (attribute or property).
+    backend: HardwareBackend
+    fields: Tuple[FieldSpec, ...]
+
+    # -- identity -------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the backend owning this space."""
+        return self.backend.name
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        """Design-parameter names, in encoding order."""
+        return tuple(spec.name for spec in self.fields)
+
+    def field_choices(self, name: str) -> Tuple[Any, ...]:
+        """Candidate values of the field called ``name``."""
+        for spec in self.fields:
+            if spec.name == name:
+                return spec.choices
+        raise ValueError(f"unknown design field {name!r}; expected one of {self.field_names}")
+
+    # -- size / enumeration --------------------------------------------
+    @property
+    def field_sizes(self) -> Dict[str, int]:
+        """Number of candidate values per design parameter."""
+        return {spec.name: spec.size for spec in self.fields}
+
+    @property
+    def encoding_width(self) -> int:
+        """Width of the concatenated one-hot encoding of a configuration."""
+        return sum(spec.size for spec in self.fields)
+
+    def __len__(self) -> int:
+        total = 1
+        for spec in self.fields:
+            total *= spec.size
+        return total
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.enumerate()
+
+    def enumerate(self) -> Iterator[Any]:
+        """Yield every configuration in the space (field-major product order)."""
+        names = self.field_names
+        for combo in itertools.product(*(spec.choices for spec in self.fields)):
+            yield self.backend.make_config(dict(zip(names, combo)))
+
+    def config_list(self) -> List[Any]:
+        """Materialised (and cached) list of every configuration in the space."""
+        try:
+            return self._config_list  # type: ignore[attr-defined]
+        except AttributeError:
+            configs = list(self.enumerate())
+            object.__setattr__(self, "_config_list", configs)
+            return configs
+
+    def config_batch(self):
+        """Cached structure-of-arrays batch over the whole space."""
+        try:
+            return self._config_batch  # type: ignore[attr-defined]
+        except AttributeError:
+            batch = self.backend.make_batch(self.config_list())
+            object.__setattr__(self, "_config_batch", batch)
+            return batch
+
+    def contains(self, config) -> bool:
+        """Return whether ``config`` lies in the discretised space."""
+        if not isinstance(config, self.backend.config_type):
+            return False
+        values = self.backend.config_values(config)
+        return all(value in spec.choices for spec, value in zip(self.fields, values))
+
+    def sample(self, rng: Optional[Union[int, np.random.Generator]] = None):
+        """Sample a configuration uniformly at random.
+
+        Numeric fields draw via ``Generator.choice`` and categorical fields
+        via ``Generator.integers`` — the exact stream the historical Eyeriss
+        space consumed, so fixed seeds keep reproducing the same samples.
+        """
+        generator = as_rng(rng)
+        values: Dict[str, Any] = {}
+        for spec in self.fields:
+            if spec.is_numeric:
+                values[spec.name] = int(generator.choice(spec.choices))
+            else:
+                values[spec.name] = spec.choices[int(generator.integers(spec.size))]
+        return self.backend.make_config(values)
+
+    # -- encoding -------------------------------------------------------
+    def encode(self, config) -> np.ndarray:
+        """One-hot encode a configuration as a flat float vector."""
+        if not self.contains(config):
+            raise ValueError(f"configuration {config} is not in the search space")
+        values = self.backend.config_values(config)
+        pieces = []
+        for spec, value in zip(self.fields, values):
+            onehot = np.zeros(spec.size, dtype=np.float64)
+            onehot[spec.index_of(value)] = 1.0
+            pieces.append(onehot)
+        return np.concatenate(pieces)
+
+    def encode_indices(self, config) -> Dict[str, int]:
+        """Return the per-field class indices of ``config`` (for CE training)."""
+        if not self.contains(config):
+            raise ValueError(f"configuration {config} is not in the search space")
+        values = self.backend.config_values(config)
+        return {spec.name: spec.index_of(value) for spec, value in zip(self.fields, values)}
+
+    def decode(self, encoding: np.ndarray):
+        """Decode a (possibly soft) encoding back to the nearest configuration."""
+        encoding = np.asarray(encoding, dtype=np.float64).reshape(-1)
+        if encoding.shape[0] != self.encoding_width:
+            raise ValueError(
+                f"expected encoding of width {self.encoding_width}, got {encoding.shape[0]}"
+            )
+        offset = 0
+        values: Dict[str, Any] = {}
+        for spec in self.fields:
+            segment = encoding[offset : offset + spec.size]
+            values[spec.name] = spec.choices[int(np.argmax(segment))]
+            offset += spec.size
+        return self.backend.make_config(values)
+
+    def field_slices(self) -> Dict[str, slice]:
+        """Return the slice of the flat encoding owned by each design field."""
+        slices: Dict[str, slice] = {}
+        offset = 0
+        for spec in self.fields:
+            slices[spec.name] = slice(offset, offset + spec.size)
+            offset += spec.size
+        return slices
+
+
+def dram_spill_words(buffer_traffic, total_data, technology):
+    """Compulsory DRAM traffic plus buffer-overflow spill (elementwise).
+
+    Shared memory-system model: every tensor crosses the DRAM boundary once,
+    and buffer-level re-fetches spill to DRAM in proportion to how far the
+    working set exceeds the global buffer.  numpy ufuncs operate identically
+    on python scalars and arrays, so backends can use this helper from both
+    their scalar-reference and batched kernels without risking divergence.
+    """
+    compulsory = total_data * 1.0
+    capacity = float(technology.buffer_capacity_words)
+    spill_fraction = np.minimum(1.0, np.maximum(0.0, (compulsory - capacity) / compulsory))
+    refetch = np.maximum(0.0, buffer_traffic - compulsory)
+    return compulsory + refetch * spill_fraction
+
+
+def overlapped_latency_ms(compute_cycles, buffer_traffic, total_data, technology):
+    """Cycles -> milliseconds with double-buffered compute / memory overlap.
+
+    Elementwise companion of :func:`dram_spill_words`, shared by backends
+    whose compute and data movement overlap behind double buffering.
+    """
+    buffer_cycles = buffer_traffic / technology.buffer_bandwidth_words_per_cycle
+    dram_cycles = dram_spill_words(buffer_traffic, total_data, technology) / (
+        technology.dram_bandwidth_words_per_cycle
+    )
+    cycles = np.maximum(np.maximum(compute_cycles, buffer_cycles), dram_cycles)
+    return cycles / technology.clock_ghz * 1e-6
+
+
+class BackendSearchSpace(SearchSpaceBase):
+    """A concrete design space: a backend plus one ordered field-spec tuple."""
+
+    def __init__(self, backend: HardwareBackend, fields: Sequence[FieldSpec]) -> None:
+        fields = tuple(fields)
+        if not fields:
+            raise ValueError("a search space needs at least one design field")
+        names = [spec.name for spec in fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in search space: {names}")
+        self.backend = backend
+        self.fields = fields
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = "x".join(str(spec.size) for spec in self.fields)
+        return f"<BackendSearchSpace {self.backend.name!r} {sizes} ({len(self)} configs)>"

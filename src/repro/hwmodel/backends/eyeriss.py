@@ -1,0 +1,114 @@
+"""The Eyeriss-style PE-array backend (the paper's hardware space H).
+
+This backend wraps the original cost pipeline — the mapping analysis of
+:mod:`repro.hwmodel.dataflow` and the latency / energy / area models — so
+its outputs are **bit-identical** to the pre-backend implementation at every
+tier.  That bit-identity is the correctness oracle of the backend refactor:
+``tests/test_hwmodel_batch.py`` holds the batched kernels to the scalar
+reference, and the experiment suite holds end-to-end runs to their
+historical results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.hwmodel.accelerator import (
+    AcceleratorConfig,
+    ConfigBatch,
+    HardwareSearchSpace,
+    tiny_search_space,
+)
+from repro.hwmodel.backends.base import FieldSpec, HardwareBackend
+from repro.hwmodel.backends.registry import register_backend
+from repro.hwmodel.dataflow import analyze_mapping, analyze_mapping_batch
+
+
+class EyerissBackend(HardwareBackend):
+    """2-D PE array with per-PE register files and WS / OS / RS dataflows."""
+
+    name = "eyeriss"
+    config_type = AcceleratorConfig
+
+    # -- design space ---------------------------------------------------
+    def fields(self, preset: str = "full") -> Tuple[FieldSpec, ...]:
+        return self.search_space(preset).fields
+
+    def search_space(self, preset: str = "full") -> HardwareSearchSpace:
+        """The historical :class:`HardwareSearchSpace` instances (single source:
+        ``tiny_search_space()`` and the ``HardwareSearchSpace`` defaults)."""
+        if preset == "tiny":
+            return tiny_search_space()
+        if preset == "full":
+            return HardwareSearchSpace()
+        raise ValueError(f"unknown space preset {preset!r}; expected 'tiny' or 'full'")
+
+    # -- configurations -------------------------------------------------
+    def make_config(self, values: Mapping[str, Any]) -> AcceleratorConfig:
+        return AcceleratorConfig(
+            pe_x=int(values["pe_x"]),
+            pe_y=int(values["pe_y"]),
+            rf_size=int(values["rf_size"]),
+            dataflow=values["dataflow"],
+        )
+
+    def config_values(self, config: AcceleratorConfig) -> Tuple[Any, ...]:
+        return (config.pe_x, config.pe_y, config.rf_size, config.dataflow)
+
+    def make_batch(self, configs: Sequence[AcceleratorConfig]) -> ConfigBatch:
+        return ConfigBatch(configs)
+
+    # -- cost kernels ---------------------------------------------------
+    def evaluate_layer_batch(
+        self, layers, configs: ConfigBatch, cost_model
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # One mapping analysis is shared between the latency and energy
+        # models — exactly the historical AcceleratorCostModel path.
+        mapping = analyze_mapping_batch(layers, configs)
+        latency = cost_model.latency_model.batch_latency_ms(layers, configs, mapping=mapping)
+        energy = cost_model.energy_model.batch_energy_mj(
+            layers, configs, mapping=mapping, latency_ms=latency
+        )
+        area = cost_model.area_model.batch_area_mm2(configs)
+        return latency, energy, area
+
+    def reference_latency_ms(self, layer, config: AcceleratorConfig, technology) -> float:
+        return _reference_models(technology)[0].layer_latency_ms_reference(layer, config)
+
+    def reference_energy_mj(self, layer, config: AcceleratorConfig, technology) -> float:
+        return _reference_models(technology)[1].layer_energy_mj_reference(layer, config)
+
+    def reference_area_mm2(self, config: AcceleratorConfig, technology) -> float:
+        return _reference_models(technology)[2].total_area_mm2(config)
+
+    def spatial_utilization(self, layer, config: AcceleratorConfig) -> float:
+        return analyze_mapping(layer, config).spatial_utilization
+
+
+_REFERENCE_MODELS = {}
+
+
+def _reference_models(technology):
+    """Latency / energy / area models wired as AcceleratorCostModel wires them.
+
+    Cached by value (``TechnologyParameters`` is frozen and hashable), so
+    equal parameter sets share one model triple and the cache stays bounded
+    by the number of *distinct* technologies ever queried.
+    """
+    cached = _REFERENCE_MODELS.get(technology)
+    if cached is None:
+        from repro.hwmodel.area import AreaModel
+        from repro.hwmodel.energy import EnergyModel
+        from repro.hwmodel.latency import LatencyModel
+
+        latency = LatencyModel(technology)
+        area = AreaModel(technology)
+        energy = EnergyModel(technology, latency_model=latency, area_model=area)
+        cached = (latency, energy, area)
+        _REFERENCE_MODELS[technology] = cached
+    return cached
+
+
+register_backend(EyerissBackend())

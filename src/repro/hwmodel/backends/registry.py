@@ -1,0 +1,69 @@
+"""Backend registry: named lookup of every pluggable hardware backend.
+
+Built-in backends (``eyeriss``, ``systolic``, ``simd``) are registered
+lazily on first lookup, so importing :mod:`repro.hwmodel` never pulls in
+backend modules it does not need — and, crucially, the registry module has
+no import-time dependency on the backend implementations (which themselves
+import :mod:`repro.hwmodel.accelerator`).
+
+Third-party backends register themselves explicitly::
+
+    from repro.hwmodel.backends import register_backend
+    register_backend(MyBackend())
+
+after which ``ExperimentConfig(backend="mine")``, ``--set backend=mine``
+and every tier of the cost pipeline accept the new name.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple
+
+from repro.hwmodel.backends.base import HardwareBackend
+from repro.utils.text import did_you_mean
+
+_REGISTRY: Dict[str, HardwareBackend] = {}
+
+#: Built-in backends, imported on first use (module import registers them).
+_BUILTIN_MODULES: Dict[str, str] = {
+    "eyeriss": "repro.hwmodel.backends.eyeriss",
+    "systolic": "repro.hwmodel.backends.systolic",
+    "simd": "repro.hwmodel.backends.simd",
+}
+
+
+def register_backend(backend: HardwareBackend, replace: bool = False) -> HardwareBackend:
+    """Register ``backend`` under ``backend.name``; returns it for chaining."""
+    name = backend.name
+    if not name:
+        raise ValueError("backend must declare a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"backend {name!r} is already registered (pass replace=True to override)")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def _ensure_builtin(name: str) -> None:
+    if name not in _REGISTRY and name in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[name])
+
+
+def get_backend(name: str) -> HardwareBackend:
+    """Look up a backend by name; unknown names fail with a close-match hint."""
+    _ensure_builtin(name)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = available_backends()
+        raise ValueError(
+            f"unknown hardware backend {name!r}; expected one of {list(known)}"
+            f"{did_you_mean(name, known)}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered (or registerable built-in) backend."""
+    for name in _BUILTIN_MODULES:
+        _ensure_builtin(name)
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,253 @@
+"""Vector-SIMD backend: a lane-parallel unit with a purely temporal mapping.
+
+The accelerator is a single vector datapath of ``lanes`` MAC lanes, each
+with a ``vector_rf``-word slice of the vector register file, issuing up to
+``issue`` vector operations per cycle.  There is no spatial dataflow choice
+at all: output channels are vectorised across the lanes and every other loop
+runs temporally, so the only mapping effects are the lane tail (``K`` not a
+multiple of ``lanes``) and register pressure (weights spilling out of the
+vector RF force re-streaming of the inputs).
+
+This is the opposite corner of the design-space spectrum from the systolic
+array — tiny area, graceful behaviour on depthwise layers (no rows to
+under-fill), but orders of magnitude fewer MACs — which makes cross-backend
+sweeps produce genuinely different optimal (architecture, hardware) pairs.
+
+Scalar reference kernels and batched SoA kernels are implemented side by
+side with identical operation order, so the batched path is bit-identical
+to the reference (asserted by ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hwmodel.backends.base import (
+    FieldSpec,
+    HardwareBackend,
+    dram_spill_words,
+    overlapped_latency_ms,
+)
+from repro.hwmodel.backends.registry import register_backend
+
+#: Each extra issue slot duplicates the lane datapaths (dual-issue = 2x MACs).
+ISSUE_AREA_SCALE = 1.0
+
+FULL_LANE_CHOICES: Tuple[int, ...] = (8, 16, 32, 64, 128)
+FULL_VRF_CHOICES: Tuple[int, ...] = (16, 32, 64, 128)
+FULL_ISSUE_CHOICES: Tuple[int, ...] = (1, 2, 4)
+TINY_LANE_CHOICES: Tuple[int, ...] = (8, 64)
+TINY_VRF_CHOICES: Tuple[int, ...] = (16, 128)
+TINY_ISSUE_CHOICES: Tuple[int, ...] = (1, 2)
+
+
+@dataclass(frozen=True)
+class SimdConfig:
+    """One point in the vector-SIMD design space."""
+
+    backend_name = "simd"
+
+    lanes: int
+    vector_rf: int
+    issue: int
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lane count must be positive")
+        if self.vector_rf <= 0:
+            raise ValueError("vector register file size must be positive")
+        if self.issue <= 0:
+            raise ValueError("issue width must be positive")
+
+    @property
+    def total_rf_words(self) -> int:
+        """Aggregate vector-register capacity across the lanes (in words)."""
+        return self.lanes * self.vector_rf
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"lanes": self.lanes, "vector_rf": self.vector_rf, "issue": self.issue}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Union[int, str]]) -> "SimdConfig":
+        return cls(
+            lanes=int(data["lanes"]),
+            vector_rf=int(data["vector_rf"]),
+            issue=int(data["issue"]),
+        )
+
+
+class SimdBatch:
+    """Structure-of-arrays view of M SIMD configurations."""
+
+    backend_name = "simd"
+
+    __slots__ = ("configs", "lanes", "vector_rf", "issue", "total_rf_words")
+
+    def __init__(self, configs: Sequence[SimdConfig]) -> None:
+        configs = list(configs)
+        if not configs:
+            raise ValueError("SimdBatch requires at least one configuration")
+        self.configs: Tuple[SimdConfig, ...] = tuple(configs)
+        self.lanes = np.asarray([config.lanes for config in configs], dtype=np.int64)
+        self.vector_rf = np.asarray([config.vector_rf for config in configs], dtype=np.int64)
+        self.issue = np.asarray([config.issue for config in configs], dtype=np.int64)
+        self.total_rf_words = self.lanes * self.vector_rf
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def row(self, name: str) -> np.ndarray:
+        """A per-config field array shaped (1, M) for broadcasting."""
+        return getattr(self, name)[None, :]
+
+
+class SimdBackend(HardwareBackend):
+    """Vector unit: ``lanes`` MAC lanes x ``vector_rf`` words, temporal-only mapping."""
+
+    name = "simd"
+    config_type = SimdConfig
+
+    # -- design space ---------------------------------------------------
+    def fields(self, preset: str = "full") -> Tuple[FieldSpec, ...]:
+        if preset == "tiny":
+            return (
+                FieldSpec("lanes", TINY_LANE_CHOICES),
+                FieldSpec("vector_rf", TINY_VRF_CHOICES),
+                FieldSpec("issue", TINY_ISSUE_CHOICES),
+            )
+        if preset == "full":
+            return (
+                FieldSpec("lanes", FULL_LANE_CHOICES),
+                FieldSpec("vector_rf", FULL_VRF_CHOICES),
+                FieldSpec("issue", FULL_ISSUE_CHOICES),
+            )
+        raise ValueError(f"unknown space preset {preset!r}; expected 'tiny' or 'full'")
+
+    # -- configurations -------------------------------------------------
+    def make_config(self, values: Mapping[str, Any]) -> SimdConfig:
+        return SimdConfig(
+            lanes=int(values["lanes"]),
+            vector_rf=int(values["vector_rf"]),
+            issue=int(values["issue"]),
+        )
+
+    def config_values(self, config: SimdConfig) -> Tuple[Any, ...]:
+        return (config.lanes, config.vector_rf, config.issue)
+
+    def make_batch(self, configs: Sequence[SimdConfig]) -> SimdBatch:
+        return SimdBatch(configs)
+
+    # -- scalar reference kernels ---------------------------------------
+    def _mapping(self, layer, config: SimdConfig):
+        """Lane utilisation, cycles and buffer-fetch counts of one pair."""
+        vec_folds = math.ceil(layer.k / config.lanes)
+        utilization = layer.k / (vec_folds * config.lanes)
+        passes = max(1, math.ceil(layer.weight_size / config.total_rf_words))
+        compute_cycles = layer.macs / (config.lanes * config.issue * utilization) + (
+            passes * config.lanes
+        )
+        input_fetches = layer.input_size * passes
+        weight_fetches = float(layer.weight_size)
+        output_fetches = float(layer.output_size)
+        return utilization, compute_cycles, input_fetches, weight_fetches, output_fetches
+
+    def reference_latency_ms(self, layer, config: SimdConfig, technology) -> float:
+        _, compute, inputs, weights, outputs = self._mapping(layer, config)
+        traffic = inputs + weights + outputs
+        return float(
+            overlapped_latency_ms(compute, traffic, layer.total_data, technology)
+        )
+
+    def reference_energy_mj(self, layer, config: SimdConfig, technology) -> float:
+        tech = technology
+        _, _, inputs, weights, outputs = self._mapping(layer, config)
+        traffic = inputs + weights + outputs
+        macs = layer.macs
+        mac_energy = macs * tech.mac_energy_pj
+        # Two vector-RF reads and one write per MAC; wider register slices
+        # burn more per access (same trade-off as the Eyeriss RF size).
+        rf_energy = 3.0 * macs * (
+            tech.rf_access_energy_pj + tech.rf_energy_per_word_pj * config.vector_rf
+        )
+        buffer_energy = traffic * tech.buffer_access_energy_pj
+        dram_energy = float(dram_spill_words(traffic, layer.total_data, tech)) * tech.dram_access_energy_pj
+        dynamic_pj = mac_energy + rf_energy + buffer_energy + dram_energy
+        leakage_mj = (
+            tech.leakage_mw_per_mm2
+            * self.reference_area_mm2(config, tech)
+            * self.reference_latency_ms(layer, config, tech)
+            * 1e-3
+        )
+        return dynamic_pj * 1e-9 + leakage_mj
+
+    def reference_area_mm2(self, config: SimdConfig, technology) -> float:
+        tech = technology
+        return (
+            config.lanes * config.issue * tech.pe_area_mm2 * ISSUE_AREA_SCALE
+            + config.total_rf_words * tech.rf_area_per_word_mm2
+            + tech.buffer_area_mm2
+            + tech.io_area_mm2
+        )
+
+    def spatial_utilization(self, layer, config: SimdConfig) -> float:
+        return self._mapping(layer, config)[0]
+
+    # -- batched kernels ------------------------------------------------
+    def _mapping_batch(self, layers, configs: SimdBatch):
+        """(N, M) utilisation / cycle / fetch arrays; vectorised :meth:`_mapping`."""
+        lanes = configs.row("lanes")
+        vec_folds = np.ceil(layers.column("k") / lanes)
+        utilization = layers.column("k") / (vec_folds * lanes)
+        passes = np.maximum(
+            1.0, np.ceil(layers.column("weight_size") / configs.row("total_rf_words"))
+        )
+        compute_cycles = layers.column("macs") / (
+            lanes * configs.row("issue") * utilization
+        ) + (passes * lanes)
+        input_fetches = layers.column("input_size") * passes
+        weight_fetches = np.broadcast_to(
+            layers.column("weight_size").astype(np.float64), compute_cycles.shape
+        )
+        output_fetches = np.broadcast_to(
+            layers.column("output_size").astype(np.float64), compute_cycles.shape
+        )
+        return utilization, compute_cycles, input_fetches, weight_fetches, output_fetches
+
+    def evaluate_layer_batch(
+        self, layers, configs: SimdBatch, cost_model
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        tech = cost_model.technology
+        _, compute, inputs, weights, outputs = self._mapping_batch(layers, configs)
+        traffic = inputs + weights + outputs
+        total_data = layers.column("total_data")
+        latency = overlapped_latency_ms(compute, traffic, total_data, tech)
+
+        macs = layers.column("macs")
+        mac_energy = macs * tech.mac_energy_pj
+        rf_energy = 3.0 * macs * (
+            tech.rf_access_energy_pj + tech.rf_energy_per_word_pj * configs.row("vector_rf")
+        )
+        buffer_energy = traffic * tech.buffer_access_energy_pj
+        dram_energy = dram_spill_words(traffic, total_data, tech) * tech.dram_access_energy_pj
+        dynamic_pj = mac_energy + rf_energy + buffer_energy + dram_energy
+
+        area = self.batch_area_mm2(configs, tech)
+        leakage_mj = tech.leakage_mw_per_mm2 * area[None, :] * latency * 1e-3
+        energy = dynamic_pj * 1e-9 + leakage_mj
+        return latency, energy, area
+
+    def batch_area_mm2(self, configs: SimdBatch, technology) -> np.ndarray:
+        tech = technology
+        return (
+            configs.lanes * configs.issue * tech.pe_area_mm2 * ISSUE_AREA_SCALE
+            + configs.total_rf_words * tech.rf_area_per_word_mm2
+            + tech.buffer_area_mm2
+            + tech.io_area_mm2
+        )
+
+
+register_backend(SimdBackend())

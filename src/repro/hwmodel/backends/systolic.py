@@ -1,0 +1,265 @@
+"""TPU-like weight-stationary systolic-array backend.
+
+The accelerator is a ``rows x cols`` grid of fixed-function MACs: weights
+are pre-loaded and held stationary (one contraction element per row, one
+output channel per column), activations are streamed in from the left and
+partial sums flow down into per-column accumulators of ``acc_depth`` words.
+A convolution is executed as an im2col matrix multiply — the contraction
+dimension is ``C/groups * R * S`` — so the array must be *tiled* whenever
+the contraction exceeds ``rows`` or the output channels exceed ``cols``,
+and every tile pays a pipeline fill / drain of ``rows + cols`` cycles.
+
+The qualitative behaviour matches the TPU observation quoted in the paper's
+introduction: depthwise layers (contraction ``R*S`` only) badly under-fill
+the rows, and the deep, fixed pipeline makes small layers pay a large
+relative fill cost — trade-offs the Eyeriss-style array does not have, which
+is exactly why a pluggable backend makes co-exploration interesting.
+
+Scalar reference kernels (per pair, :mod:`math`-based) and batched SoA
+kernels (numpy, N layers x M configs) are implemented side by side with the
+same operation order, so the batched path is bit-identical to the reference
+(asserted by ``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hwmodel.backends.base import (
+    FieldSpec,
+    HardwareBackend,
+    dram_spill_words,
+    overlapped_latency_ms,
+)
+from repro.hwmodel.backends.registry import register_backend
+
+#: Systolic MACs carry no per-PE register file or control, so each datapath
+#: is cheaper than an Eyeriss PE of the same technology.
+MAC_AREA_SCALE = 0.55
+#: Nearest-neighbour links only (no broadcast NoC), roughly half the wiring.
+LINK_AREA_SCALE = 0.5
+#: Accumulator access energy grows with depth; normalised to a 64-word bank.
+ACC_DEPTH_ENERGY_NORM = 64.0
+
+FULL_ROW_CHOICES: Tuple[int, ...] = (32, 64, 128, 256)
+FULL_COL_CHOICES: Tuple[int, ...] = (32, 64, 128, 256)
+FULL_ACC_CHOICES: Tuple[int, ...] = (256, 512, 1024, 2048)
+TINY_ROW_CHOICES: Tuple[int, ...] = (32, 128)
+TINY_COL_CHOICES: Tuple[int, ...] = (32, 128)
+TINY_ACC_CHOICES: Tuple[int, ...] = (256, 1024)
+
+
+@dataclass(frozen=True)
+class SystolicConfig:
+    """One point in the systolic design space."""
+
+    backend_name = "systolic"
+
+    rows: int
+    cols: int
+    acc_depth: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("systolic array dimensions must be positive")
+        if self.acc_depth <= 0:
+            raise ValueError("accumulator depth must be positive")
+
+    @property
+    def num_macs(self) -> int:
+        """Total number of MAC units in the array."""
+        return self.rows * self.cols
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"rows": self.rows, "cols": self.cols, "acc_depth": self.acc_depth}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Union[int, str]]) -> "SystolicConfig":
+        return cls(
+            rows=int(data["rows"]), cols=int(data["cols"]), acc_depth=int(data["acc_depth"])
+        )
+
+
+class SystolicBatch:
+    """Structure-of-arrays view of M systolic configurations."""
+
+    backend_name = "systolic"
+
+    __slots__ = ("configs", "rows", "cols", "acc_depth", "num_macs")
+
+    def __init__(self, configs: Sequence[SystolicConfig]) -> None:
+        configs = list(configs)
+        if not configs:
+            raise ValueError("SystolicBatch requires at least one configuration")
+        self.configs: Tuple[SystolicConfig, ...] = tuple(configs)
+        self.rows = np.asarray([config.rows for config in configs], dtype=np.int64)
+        self.cols = np.asarray([config.cols for config in configs], dtype=np.int64)
+        self.acc_depth = np.asarray([config.acc_depth for config in configs], dtype=np.int64)
+        self.num_macs = self.rows * self.cols
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def row(self, name: str) -> np.ndarray:
+        """A per-config field array shaped (1, M) for broadcasting."""
+        return getattr(self, name)[None, :]
+
+
+class SystolicBackend(HardwareBackend):
+    """Weight-stationary systolic MAC array with per-column accumulators."""
+
+    name = "systolic"
+    config_type = SystolicConfig
+
+    # -- design space ---------------------------------------------------
+    def fields(self, preset: str = "full") -> Tuple[FieldSpec, ...]:
+        if preset == "tiny":
+            return (
+                FieldSpec("rows", TINY_ROW_CHOICES),
+                FieldSpec("cols", TINY_COL_CHOICES),
+                FieldSpec("acc_depth", TINY_ACC_CHOICES),
+            )
+        if preset == "full":
+            return (
+                FieldSpec("rows", FULL_ROW_CHOICES),
+                FieldSpec("cols", FULL_COL_CHOICES),
+                FieldSpec("acc_depth", FULL_ACC_CHOICES),
+            )
+        raise ValueError(f"unknown space preset {preset!r}; expected 'tiny' or 'full'")
+
+    # -- configurations -------------------------------------------------
+    def make_config(self, values: Mapping[str, Any]) -> SystolicConfig:
+        return SystolicConfig(
+            rows=int(values["rows"]),
+            cols=int(values["cols"]),
+            acc_depth=int(values["acc_depth"]),
+        )
+
+    def config_values(self, config: SystolicConfig) -> Tuple[Any, ...]:
+        return (config.rows, config.cols, config.acc_depth)
+
+    def make_batch(self, configs: Sequence[SystolicConfig]) -> SystolicBatch:
+        return SystolicBatch(configs)
+
+    # -- scalar reference kernels ---------------------------------------
+    def _mapping(self, layer, config: SystolicConfig):
+        """Tiling, utilisation and buffer-fetch counts of one (layer, config) pair."""
+        contraction = (layer.c // layer.groups) * layer.r * layer.s
+        row_folds = math.ceil(contraction / config.rows)
+        col_folds = math.ceil(layer.k / config.cols)
+        out_pixels = layer.n * layer.out_h * layer.out_w
+        acc_passes = max(1, math.ceil(out_pixels / config.acc_depth))
+        utilization = (contraction / (row_folds * config.rows)) * (
+            layer.k / (col_folds * config.cols)
+        )
+        compute_cycles = (row_folds * col_folds) * (out_pixels + config.rows + config.cols)
+        input_fetches = layer.input_size * col_folds
+        weight_fetches = float(layer.weight_size)
+        output_fetches = layer.output_size * (row_folds + 0.5 * (acc_passes - 1))
+        return utilization, compute_cycles, input_fetches, weight_fetches, output_fetches
+
+    def reference_latency_ms(self, layer, config: SystolicConfig, technology) -> float:
+        _, compute, inputs, weights, outputs = self._mapping(layer, config)
+        traffic = inputs + weights + outputs
+        return float(
+            overlapped_latency_ms(compute, traffic, layer.total_data, technology)
+        )
+
+    def reference_energy_mj(self, layer, config: SystolicConfig, technology) -> float:
+        tech = technology
+        _, _, inputs, weights, outputs = self._mapping(layer, config)
+        traffic = inputs + weights + outputs
+        macs = layer.macs
+        mac_energy = macs * tech.mac_energy_pj
+        # Operands hop through two pipeline registers per MAC per cycle.
+        shift_energy = 2.0 * macs * tech.rf_access_energy_pj
+        acc_energy = macs * (
+            tech.rf_access_energy_pj
+            + tech.rf_energy_per_word_pj * (config.acc_depth / ACC_DEPTH_ENERGY_NORM)
+        )
+        buffer_energy = traffic * tech.buffer_access_energy_pj
+        dram_energy = float(dram_spill_words(traffic, layer.total_data, tech)) * tech.dram_access_energy_pj
+        dynamic_pj = mac_energy + shift_energy + acc_energy + buffer_energy + dram_energy
+        leakage_mj = (
+            tech.leakage_mw_per_mm2
+            * self.reference_area_mm2(config, tech)
+            * self.reference_latency_ms(layer, config, tech)
+            * 1e-3
+        )
+        return dynamic_pj * 1e-9 + leakage_mj
+
+    def reference_area_mm2(self, config: SystolicConfig, technology) -> float:
+        tech = technology
+        return (
+            config.num_macs * tech.pe_area_mm2 * MAC_AREA_SCALE
+            + config.cols * config.acc_depth * tech.rf_area_per_word_mm2
+            + config.num_macs * tech.noc_area_per_pe_mm2 * LINK_AREA_SCALE
+            + tech.buffer_area_mm2
+            + tech.io_area_mm2
+        )
+
+    def spatial_utilization(self, layer, config: SystolicConfig) -> float:
+        return self._mapping(layer, config)[0]
+
+    # -- batched kernels ------------------------------------------------
+    def _mapping_batch(self, layers, configs: SystolicBatch):
+        """(N, M) tiling / utilisation / fetch arrays; vectorised :meth:`_mapping`."""
+        contraction = layers.column("channels_per_group") * layers.column("r") * layers.column("s")
+        rows = configs.row("rows")
+        cols = configs.row("cols")
+        row_folds = np.ceil(contraction / rows)
+        col_folds = np.ceil(layers.column("k") / cols)
+        out_pixels = layers.column("n") * layers.column("out_h") * layers.column("out_w")
+        acc_passes = np.maximum(1.0, np.ceil(out_pixels / configs.row("acc_depth")))
+        utilization = (contraction / (row_folds * rows)) * (
+            layers.column("k") / (col_folds * cols)
+        )
+        compute_cycles = (row_folds * col_folds) * (out_pixels + rows + cols)
+        input_fetches = layers.column("input_size") * col_folds
+        weight_fetches = np.broadcast_to(
+            layers.column("weight_size").astype(np.float64), compute_cycles.shape
+        )
+        output_fetches = layers.column("output_size") * (row_folds + 0.5 * (acc_passes - 1))
+        return utilization, compute_cycles, input_fetches, weight_fetches, output_fetches
+
+    def evaluate_layer_batch(
+        self, layers, configs: SystolicBatch, cost_model
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        tech = cost_model.technology
+        _, compute, inputs, weights, outputs = self._mapping_batch(layers, configs)
+        traffic = inputs + weights + outputs
+        total_data = layers.column("total_data")
+        latency = overlapped_latency_ms(compute, traffic, total_data, tech)
+
+        macs = layers.column("macs")
+        mac_energy = macs * tech.mac_energy_pj
+        shift_energy = 2.0 * macs * tech.rf_access_energy_pj
+        acc_energy = macs * (
+            tech.rf_access_energy_pj
+            + tech.rf_energy_per_word_pj * (configs.row("acc_depth") / ACC_DEPTH_ENERGY_NORM)
+        )
+        buffer_energy = traffic * tech.buffer_access_energy_pj
+        dram_energy = dram_spill_words(traffic, total_data, tech) * tech.dram_access_energy_pj
+        dynamic_pj = mac_energy + shift_energy + acc_energy + buffer_energy + dram_energy
+
+        area = self.batch_area_mm2(configs, tech)
+        leakage_mj = tech.leakage_mw_per_mm2 * area[None, :] * latency * 1e-3
+        energy = dynamic_pj * 1e-9 + leakage_mj
+        return latency, energy, area
+
+    def batch_area_mm2(self, configs: SystolicBatch, technology) -> np.ndarray:
+        tech = technology
+        return (
+            configs.num_macs * tech.pe_area_mm2 * MAC_AREA_SCALE
+            + configs.cols * configs.acc_depth * tech.rf_area_per_word_mm2
+            + configs.num_macs * tech.noc_area_per_pe_mm2 * LINK_AREA_SCALE
+            + tech.buffer_area_mm2
+            + tech.io_area_mm2
+        )
+
+
+register_backend(SystolicBackend())

@@ -21,9 +21,18 @@ The oracle is organised as a three-tier pipeline:
    network-level metrics of *any* architecture under *any* configuration are
    pure table lookups/summations.  Dataset generation and the search
    baselines all run on this tier.
-3. **Memo** — an LRU cache keyed on the (hashable) ``(ConvLayerShape,
-   AcceleratorConfig)`` pair serves repeat per-layer queries from callers
-   outside the table path.
+3. **Memo** — an LRU cache keyed on the (hashable) ``(backend, ConvLayerShape,
+   config)`` triple serves repeat per-layer queries from callers outside the
+   table path; the backend name in the key guarantees that two backends with
+   colliding field tuples can never share cache entries.
+
+Every tier is **backend-generic**: the actual cost kernels come from the
+:class:`~repro.hwmodel.backends.base.HardwareBackend` that owns the
+configurations being evaluated (resolved from the config / batch objects
+themselves), so the same cost model, table and memo serve the Eyeriss PE
+array, the systolic array, the SIMD vector unit and any backend registered
+later.  For the default ``eyeriss`` backend every number is bit-identical
+to the pre-backend implementation.
 """
 
 from __future__ import annotations
@@ -34,9 +43,10 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 
 import numpy as np
 
-from repro.hwmodel.accelerator import AcceleratorConfig, ConfigBatch, HardwareSearchSpace
+from repro.hwmodel.accelerator import AcceleratorConfig, HardwareSearchSpace
 from repro.hwmodel.area import AreaModel
-from repro.hwmodel.dataflow import analyze_mapping_batch
+from repro.hwmodel.backends.base import HardwareBackend, SearchSpaceBase
+from repro.hwmodel.backends.registry import get_backend
 from repro.hwmodel.energy import EnergyModel
 from repro.hwmodel.latency import LatencyModel
 from repro.hwmodel.metrics import HardwareMetrics, edap_cost
@@ -62,23 +72,37 @@ class LayerCostReport:
 
 
 class AcceleratorCostModel:
-    """Analytical latency / energy / area oracle for an Eyeriss-style accelerator.
+    """Analytical latency / energy / area oracle behind the backend protocol.
 
     Parameters
     ----------
     technology:
-        Process / circuit constants shared by the three sub-models.
+        Process / circuit constants shared by every backend's kernels.
     cache_size:
         Capacity of the LRU memo serving :meth:`evaluate_layer`; ``0``
         disables memoisation.
+    backend:
+        Default :class:`~repro.hwmodel.backends.base.HardwareBackend` (or
+        registry name) used when the configurations being evaluated do not
+        carry their own backend identity; defaults to ``eyeriss``.
     """
 
     def __init__(
         self,
         technology: TechnologyParameters = DEFAULT_TECHNOLOGY,
         cache_size: int = 65536,
+        backend: Union[HardwareBackend, str, None] = None,
     ) -> None:
         self.technology = technology
+        if backend is None:
+            backend = get_backend("eyeriss")
+        elif isinstance(backend, str):
+            backend = get_backend(backend)
+        self.backend = backend
+        # The Eyeriss sub-models are always wired up: they are cheap plain
+        # objects, the Eyeriss backend kernel runs through them (sharing one
+        # mapping analysis), and callers use them directly as the scalar
+        # reference oracle.
         self.latency_model = LatencyModel(technology)
         self.area_model = AreaModel(technology)
         self.energy_model = EnergyModel(
@@ -90,35 +114,48 @@ class AcceleratorCostModel:
             self._layer_memo = self._evaluate_layer_impl
 
     # ------------------------------------------------------------------
+    # Backend resolution
+    # ------------------------------------------------------------------
+    def _backend_of(self, config_or_batch) -> HardwareBackend:
+        """The backend owning ``config_or_batch`` (falls back to the default)."""
+        name = getattr(config_or_batch, "backend_name", None)
+        if name is None or name == self.backend.name:
+            return self.backend
+        return get_backend(name)
+
+    # ------------------------------------------------------------------
     # Batched evaluation (the workhorse path)
     # ------------------------------------------------------------------
     def evaluate_layer_batch(
         self,
         layers: Union[LayerBatch, Sequence[ConvLayerShape]],
-        configs: Union[ConfigBatch, Sequence[AcceleratorConfig]],
+        configs,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-layer metrics of N layers x M configs in one vectorised pass.
 
+        ``configs`` may be a backend batch object or a plain sequence of
+        configurations (which is converted through the owning backend).
         Returns ``(latency_ms, energy_mj, area_mm2)`` with shapes
-        ``(N, M)``, ``(N, M)`` and ``(M,)``.  One mapping analysis is shared
-        between the latency and energy models.
+        ``(N, M)``, ``(N, M)`` and ``(M,)``.
         """
         if not isinstance(layers, LayerBatch):
             layers = LayerBatch.from_layers(layers)
-        if not isinstance(configs, ConfigBatch):
-            configs = ConfigBatch.from_configs(configs)
-        mapping = analyze_mapping_batch(layers, configs)
-        latency = self.latency_model.batch_latency_ms(layers, configs, mapping=mapping)
-        energy = self.energy_model.batch_energy_mj(
-            layers, configs, mapping=mapping, latency_ms=latency
-        )
-        area = self.area_model.batch_area_mm2(configs)
-        return latency, energy, area
+        # An SoA batch exposes both its backend identity and per-config rows;
+        # anything else (config sequence, search space, generator) is
+        # materialised and converted through the owning backend.
+        if not (hasattr(configs, "backend_name") and hasattr(configs, "row")):
+            configs = list(configs)
+            if not configs:
+                raise ValueError("evaluate_layer_batch requires at least one configuration")
+            backend = self._backend_of(configs[0])
+            configs = backend.make_batch(configs)
+        backend = self._backend_of(configs)
+        return backend.evaluate_layer_batch(layers, configs, self)
 
     def evaluate_network_batch(
         self,
         workload: WorkloadLike,
-        configs: Union[ConfigBatch, Sequence[AcceleratorConfig]],
+        configs,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Network-level metrics over M configs: ``(latency, energy, area)``, each ``(M,)``.
 
@@ -141,10 +178,11 @@ class AcceleratorCostModel:
     # Layer-level evaluation (memoised scalar wrapper)
     # ------------------------------------------------------------------
     def _evaluate_layer_impl(
-        self, layer: ConvLayerShape, config: AcceleratorConfig
+        self, backend_name: str, layer: ConvLayerShape, config
     ) -> HardwareMetrics:
+        backend = get_backend(backend_name)
         latency, energy, area = self.evaluate_layer_batch(
-            LayerBatch([layer]), ConfigBatch([config])
+            LayerBatch([layer]), backend.make_batch([config])
         )
         return HardwareMetrics(
             latency_ms=float(latency[0, 0]),
@@ -152,9 +190,14 @@ class AcceleratorCostModel:
             area_mm2=float(area[0]),
         )
 
-    def evaluate_layer(self, layer: ConvLayerShape, config: AcceleratorConfig) -> HardwareMetrics:
-        """Latency / energy / area of a single layer on ``config`` (LRU-memoised)."""
-        return self._layer_memo(layer, config)
+    def evaluate_layer(self, layer: ConvLayerShape, config) -> HardwareMetrics:
+        """Latency / energy / area of a single layer on ``config`` (LRU-memoised).
+
+        The memo key is the ``(backend, layer, config)`` triple — backend
+        identity is explicit, so configurations of different backends whose
+        field tuples collide can never share a cache entry.
+        """
+        return self._layer_memo(self._backend_of(config).name, layer, config)
 
     def cache_info(self):
         """Hit/miss statistics of the per-layer memo (``None`` when disabled)."""
@@ -170,14 +213,15 @@ class AcceleratorCostModel:
     # ------------------------------------------------------------------
     # Network-level evaluation
     # ------------------------------------------------------------------
-    def evaluate(self, workload: WorkloadLike, config: AcceleratorConfig) -> HardwareMetrics:
+    def evaluate(self, workload: WorkloadLike, config) -> HardwareMetrics:
         """Latency / energy / area of an entire network on ``config``.
 
         Latency and energy accumulate across layers; area is a property of
         the accelerator and is shared by all layers.
         """
+        backend = self._backend_of(config)
         latency, energy, area = self.evaluate_network_batch(
-            workload, ConfigBatch([config])
+            workload, backend.make_batch([config])
         )
         return HardwareMetrics(
             latency_ms=float(latency[0]),
@@ -186,29 +230,27 @@ class AcceleratorCostModel:
         )
 
     def evaluate_detailed(
-        self, workload: WorkloadLike, config: AcceleratorConfig
+        self, workload: WorkloadLike, config
     ) -> List[LayerCostReport]:
         """Per-layer breakdown of the evaluation (diagnostics / reporting)."""
-        from repro.hwmodel.dataflow import analyze_mapping
-
+        backend = self._backend_of(config)
         layers = list(workload)
         if not layers:
             return []
-        latency, energy, _ = self.evaluate_layer_batch(layers, ConfigBatch([config]))
+        latency, energy, _ = self.evaluate_layer_batch(layers, backend.make_batch([config]))
         reports: List[LayerCostReport] = []
         for index, layer in enumerate(layers):
-            mapping = analyze_mapping(layer, config)
             reports.append(
                 LayerCostReport(
                     layer_name=layer.name,
                     latency_ms=float(latency[index, 0]),
                     energy_mj=float(energy[index, 0]),
-                    spatial_utilization=mapping.spatial_utilization,
+                    spatial_utilization=backend.spatial_utilization(layer, config),
                 )
             )
         return reports
 
-    def evaluate_dict(self, workload: WorkloadLike, config: AcceleratorConfig) -> Dict[str, float]:
+    def evaluate_dict(self, workload: WorkloadLike, config) -> Dict[str, float]:
         """Evaluation result as a flat dict (latency_ms, energy_mj, area_mm2, edap)."""
         return self.evaluate(workload, config).as_dict()
 
@@ -250,24 +292,32 @@ class CostTable:
 
     The table itself is built with one batched kernel invocation over every
     (candidate layer, configuration) pair rather than nested Python loops.
+
+    The table is backend-generic: ``hw_space`` may be any backend's design
+    space (:class:`~repro.hwmodel.backends.base.SearchSpaceBase`), the cost
+    kernels come from that backend, and the table's cache labels
+    (:attr:`backend_name`, the per-config LUTs and the config index) carry
+    the backend identity so tables over different backends never mix
+    entries.
     """
 
     def __init__(
         self,
         nas_space: "NASSearchSpace",
-        hw_space: HardwareSearchSpace,
+        hw_space: Union[HardwareSearchSpace, SearchSpaceBase],
         cost_model: Optional[AcceleratorCostModel] = None,
     ) -> None:
         from repro.utils.logging import get_logger
 
         self.nas_space = nas_space
         self.hw_space = hw_space
-        self.cost_model = cost_model or AcceleratorCostModel()
-        self.configs: List[AcceleratorConfig] = list(hw_space.enumerate())
-        self._config_index: Dict[AcceleratorConfig, int] = {
+        self.backend = hw_space.backend
+        self.cost_model = cost_model or AcceleratorCostModel(backend=self.backend)
+        self.configs: List = list(hw_space.enumerate())
+        self._config_index: Dict = {
             config: index for index, config in enumerate(self.configs)
         }
-        self._config_batch = ConfigBatch(self.configs)
+        self._config_batch = self.backend.make_batch(self.configs)
         num_configs = len(self.configs)
         num_positions = nas_space.num_searchable
         num_ops = nas_space.num_ops
@@ -308,12 +358,18 @@ class CostTable:
                 self.op_energy[position, op_idx] += energy[row]
 
         get_logger("hwmodel.cost_table").info(
-            "CostTable built: %d positions x %d ops x %d configs (%d layer rows)",
+            "CostTable[%s] built: %d positions x %d ops x %d configs (%d layer rows)",
+            self.backend_name,
             num_positions,
             num_ops,
             num_configs,
             len(all_layers),
         )
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the backend whose space this table covers."""
+        return self.backend.name
 
     # ------------------------------------------------------------------
     # Derived lookup tables (lazy)
@@ -340,7 +396,7 @@ class CostTable:
             self._config_class_indices = cached
         return cached
 
-    def config_index(self, config: AcceleratorConfig) -> int:
+    def config_index(self, config) -> int:
         """Position of ``config`` in :attr:`configs` (O(1) dict lookup)."""
         try:
             return self._config_index[config]
@@ -426,7 +482,7 @@ class CostTable:
 
     def optimal_config(
         self, op_indices: np.ndarray, cost_function: CostFunction = edap_cost
-    ) -> Tuple[AcceleratorConfig, HardwareMetrics]:
+    ) -> Tuple[Union[AcceleratorConfig, object], HardwareMetrics]:
         """Exhaustive-search the best configuration for one architecture."""
         latency, energy, area = self.metrics_per_config(op_indices)
         costs = self.costs_per_config(latency, energy, area, cost_function)
@@ -449,7 +505,7 @@ class CostTable:
         rows = np.arange(best.shape[0])
         return best, latency[rows, best], energy[rows, best], self.area[best]
 
-    def metrics_for(self, op_indices: np.ndarray, config: AcceleratorConfig) -> HardwareMetrics:
+    def metrics_for(self, op_indices: np.ndarray, config) -> HardwareMetrics:
         """Metrics of one architecture on one specific configuration."""
         latency, energy, area = self.metrics_per_config(op_indices)
         config_index = self.config_index(config)

@@ -2,6 +2,7 @@
 
 from repro.utils.seeding import global_rng, seed_everything
 from repro.utils.logging import get_logger
+from repro.utils.text import did_you_mean
 from repro.utils.serialization import (
     decode_state,
     encode_state,
@@ -17,6 +18,7 @@ __all__ = [
     "global_rng",
     "seed_everything",
     "get_logger",
+    "did_you_mean",
     "load_json",
     "save_json",
     "encode_state",

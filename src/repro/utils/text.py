@@ -1,0 +1,16 @@
+"""Small text helpers shared across the repository."""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def did_you_mean(name: str, known: Iterable[str]) -> str:
+    """A ``" — did you mean ...?"`` suffix when ``name`` is close to a known key.
+
+    Shared by every unknown-name error in the repository (hardware backends,
+    config keys, ``--set`` targets) so hint behaviour stays uniform.
+    """
+    matches = difflib.get_close_matches(name, list(known), n=1)
+    return f" — did you mean {matches[0]!r}?" if matches else ""

@@ -1,0 +1,361 @@
+"""Tests for the pluggable ``HardwareBackend`` layer.
+
+Covers the registry, the generic design-space machinery driven by backend
+field specs, per-backend scalar-vs-batched bit-identity parity (the
+``tests/test_hwmodel_batch.py`` pattern extended to ``systolic``/``simd``),
+backend-keyed cost-model memoisation, and the evaluator encoding round-trip
+on non-default backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hwmodel import (
+    AcceleratorCostModel,
+    ConvLayerShape,
+    CostTable,
+    HardwareSearchSpace,
+    available_backends,
+    get_backend,
+    tiny_search_space,
+)
+from repro.hwmodel.backends.simd import SimdConfig
+from repro.hwmodel.backends.systolic import SystolicConfig
+from repro.hwmodel.workload import conv_layer
+from repro.nas import build_cifar_search_space
+
+NON_DEFAULT_BACKENDS = ("systolic", "simd")
+
+
+@pytest.fixture(scope="module")
+def layer_grid():
+    """Shapes covering the behaviours the backend kernels branch on."""
+    return [
+        conv_layer("plain3x3", 32, 64, 32, 3),
+        conv_layer("stem", 3, 32, 32, 3),
+        conv_layer("pointwise", 96, 160, 4, 1),
+        conv_layer("strided", 24, 48, 16, 3, stride=2),
+        ConvLayerShape("depthwise", n=1, c=64, h=32, w=32, k=64, r=5, s=5, groups=64),
+        conv_layer("batched", 48, 48, 8, 3, batch=4),
+    ]
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_backends()
+        assert set(names) >= {"eyeriss", "systolic", "simd"}
+
+    def test_get_backend_roundtrip(self):
+        for name in available_backends():
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_rejected_with_hint(self):
+        with pytest.raises(ValueError, match="did you mean 'systolic'"):
+            get_backend("systolik")
+
+    def test_config_classes_carry_backend_identity(self):
+        for name in available_backends():
+            backend = get_backend(name)
+            config = backend.search_space("tiny").config_list()[0]
+            assert config.backend_name == name
+            assert backend.config_from_dict(config.as_dict()) == config
+
+
+class TestGenericSearchSpace:
+    @pytest.mark.parametrize("name", available_backends())
+    def test_enumeration_is_unique_and_sized_by_field_spec(self, name):
+        space = get_backend(name).search_space("tiny")
+        configs = space.config_list()
+        assert len(configs) == len(space)
+        assert len(set(configs)) == len(configs)
+        expected = 1
+        for spec in space.fields:
+            expected *= spec.size
+        assert len(space) == expected
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_encode_decode_roundtrip_driven_by_field_spec(self, name):
+        space = get_backend(name).search_space("tiny")
+        for config in space.enumerate():
+            encoding = space.encode(config)
+            assert encoding.shape == (space.encoding_width,)
+            assert np.isclose(encoding.sum(), len(space.fields))  # one-hot per field
+            assert space.decode(encoding) == config
+            # Soft encodings decode to the per-field argmax.
+            assert space.decode(encoding * 0.7 + 0.1) == config
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_field_slices_partition_encoding(self, name):
+        space = get_backend(name).search_space("full")
+        slices = space.field_slices()
+        covered = sorted(
+            index
+            for field_slice in slices.values()
+            for index in range(field_slice.start, field_slice.stop)
+        )
+        assert covered == list(range(space.encoding_width))
+        assert tuple(slices) == space.field_names
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_encode_indices_match_choice_positions(self, name):
+        space = get_backend(name).search_space("tiny")
+        config = space.config_list()[-1]
+        indices = space.encode_indices(config)
+        values = space.backend.config_values(config)
+        for spec, value in zip(space.fields, values):
+            assert spec.choices[indices[spec.name]] == value
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_sampling_stays_in_space(self, name):
+        space = get_backend(name).search_space("tiny")
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert space.contains(space.sample(rng=rng))
+
+    def test_cross_backend_configs_are_not_contained(self):
+        systolic_space = get_backend("systolic").search_space("tiny")
+        simd_config = get_backend("simd").search_space("tiny").config_list()[0]
+        assert not systolic_space.contains(simd_config)
+        with pytest.raises(ValueError):
+            systolic_space.encode(simd_config)
+
+    def test_eyeriss_backend_space_matches_historical_space(self):
+        """The backend-built space is the same object shape, configs and streams."""
+        via_backend = get_backend("eyeriss").search_space("tiny")
+        historical = tiny_search_space()
+        assert isinstance(via_backend, HardwareSearchSpace)
+        assert via_backend.config_list() == historical.config_list()
+        for config in historical.config_list()[:5]:
+            assert np.array_equal(via_backend.encode(config), historical.encode(config))
+        # The sampling RNG stream is unchanged by the generic machinery.
+        assert via_backend.sample(rng=np.random.default_rng(7)) == historical.sample(
+            rng=np.random.default_rng(7)
+        )
+
+
+class TestBackendKernelParity:
+    """Scalar-reference vs batched-kernel bit-identity, per backend."""
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_layer_batch_matches_scalar_reference_bitwise(self, name, layer_grid):
+        backend = get_backend(name)
+        model = AcceleratorCostModel(backend=backend)
+        space = backend.search_space("full")
+        configs = space.config_list()
+        latency, energy, area = model.evaluate_layer_batch(layer_grid, space.config_batch())
+        assert latency.shape == (len(layer_grid), len(configs))
+        for i, layer in enumerate(layer_grid):
+            for j, config in enumerate(configs):
+                assert latency[i, j] == backend.reference_latency_ms(
+                    layer, config, model.technology
+                )
+                assert energy[i, j] == backend.reference_energy_mj(
+                    layer, config, model.technology
+                )
+        for j, config in enumerate(configs):
+            assert area[j] == backend.reference_area_mm2(config, model.technology)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_layer_batch_accepts_spaces_and_sequences(self, name, layer_grid):
+        """Configs may arrive as an SoA batch, a plain list, or a search space."""
+        backend = get_backend(name)
+        model = AcceleratorCostModel(backend=backend)
+        space = backend.search_space("tiny")
+        via_batch = model.evaluate_layer_batch(layer_grid, space.config_batch())
+        via_list = model.evaluate_layer_batch(layer_grid, space.config_list())
+        via_space = model.evaluate_layer_batch(layer_grid, space)
+        for a, b, c in zip(via_batch, via_list, via_space):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_network_accumulation_matches_scalar_sum(self, name, layer_grid):
+        backend = get_backend(name)
+        model = AcceleratorCostModel(backend=backend)
+        config = backend.search_space("tiny").config_list()[0]
+        metrics = model.evaluate(layer_grid, config)
+        expected_latency = 0.0
+        expected_energy = 0.0
+        for layer in layer_grid:
+            expected_latency += backend.reference_latency_ms(layer, config, model.technology)
+            expected_energy += backend.reference_energy_mj(layer, config, model.technology)
+        assert metrics.latency_ms == expected_latency
+        assert metrics.energy_mj == expected_energy
+        assert metrics.area_mm2 == backend.reference_area_mm2(config, model.technology)
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_utilization_in_unit_range(self, name, layer_grid):
+        backend = get_backend(name)
+        for config in backend.search_space("tiny").config_list():
+            for layer in layer_grid:
+                utilization = backend.spatial_utilization(layer, config)
+                assert 0.0 < utilization <= 1.0
+
+    def test_depthwise_layers_underfill_systolic_rows(self, layer_grid):
+        """The TPU behaviour the paper quotes: depthwise contraction is R*S only."""
+        backend = get_backend("systolic")
+        config = SystolicConfig(rows=128, cols=32, acc_depth=512)
+        depthwise = next(layer for layer in layer_grid if layer.groups > 1)
+        dense = layer_grid[0]
+        assert backend.spatial_utilization(depthwise, config) < backend.spatial_utilization(
+            dense, config
+        )
+
+
+class TestBackendKeyedMemo:
+    def test_colliding_field_tuples_never_share_cache_entries(self):
+        """Satellite regression: (32, 32, 256) exists in both systolic and simd."""
+        systolic_config = SystolicConfig(rows=32, cols=32, acc_depth=256)
+        simd_config = SimdConfig(lanes=32, vector_rf=32, issue=256)
+        assert get_backend("systolic").config_values(systolic_config) == get_backend(
+            "simd"
+        ).config_values(simd_config)
+
+        model = AcceleratorCostModel(backend="systolic")
+        layer = conv_layer("memo", 16, 32, 16, 3)
+        first = model.evaluate_layer(layer, systolic_config)
+        second = model.evaluate_layer(layer, simd_config)
+        info = model.cache_info()
+        assert info.misses == 2 and info.hits == 0  # two distinct entries
+        assert first != second  # different backends, different physics
+        # Repeat queries hit their own backend's entry.
+        assert model.evaluate_layer(layer, systolic_config) is first
+        assert model.evaluate_layer(layer, simd_config) is second
+        assert model.cache_info().hits == 2
+
+    def test_memo_key_includes_backend_for_equal_hash_tuples(self):
+        """Even an equal ``__hash__`` cannot alias entries across backends."""
+        systolic_config = SystolicConfig(rows=64, cols=64, acc_depth=1024)
+        simd_config = SimdConfig(lanes=64, vector_rf=64, issue=1024)
+        model = AcceleratorCostModel()
+        layer = conv_layer("memo2", 8, 16, 8, 3)
+        metrics_a = model.evaluate_layer(layer, systolic_config)
+        metrics_b = model.evaluate_layer(layer, simd_config)
+        assert model.cache_info().misses == 2
+        assert metrics_a.area_mm2 != metrics_b.area_mm2
+
+
+class TestBackendCostTable:
+    @pytest.fixture(scope="class")
+    def nas_space(self):
+        return build_cifar_search_space(
+            num_searchable=3, trainable_resolution=8, trainable_base_channels=4
+        )
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_table_entries_match_scalar_reference(self, name, nas_space):
+        backend = get_backend(name)
+        table = CostTable(nas_space, backend.search_space("tiny"))
+        assert table.backend_name == name
+        model = table.cost_model
+        for j, config in enumerate(table.configs[:4]):
+            expected_latency = 0.0
+            expected_energy = 0.0
+            for layer in nas_space.fixed_workload_layers():
+                expected_latency += backend.reference_latency_ms(layer, config, model.technology)
+                expected_energy += backend.reference_energy_mj(layer, config, model.technology)
+            assert table.fixed_latency[j] == expected_latency
+            assert table.fixed_energy[j] == expected_energy
+            assert table.area[j] == backend.reference_area_mm2(config, model.technology)
+
+    def test_tables_over_different_backends_reject_foreign_configs(self, nas_space):
+        systolic_table = CostTable(nas_space, get_backend("systolic").search_space("tiny"))
+        simd_table = CostTable(nas_space, get_backend("simd").search_space("tiny"))
+        assert systolic_table.backend_name != simd_table.backend_name
+        arch = np.zeros(nas_space.num_searchable, dtype=np.int64)
+        foreign = simd_table.configs[0]
+        with pytest.raises(ValueError, match="not in the table"):
+            systolic_table.metrics_for(arch, foreign)
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_optimal_config_search_and_batch_labeling(self, name, nas_space):
+        backend = get_backend(name)
+        space = backend.search_space("tiny")
+        table = CostTable(nas_space, space)
+        rng = np.random.default_rng(3)
+        archs = rng.integers(0, nas_space.num_ops, size=(8, nas_space.num_searchable))
+        best, latency, energy, area = table.optimal_configs_batch(archs)
+        for i in range(archs.shape[0]):
+            config, metrics = table.optimal_config(archs[i])
+            assert isinstance(config, backend.config_type)
+            assert space.contains(config)
+            assert table.configs[best[i]] == config
+            assert latency[i] == metrics.latency_ms
+            assert energy[i] == metrics.energy_mj
+            assert area[i] == metrics.area_mm2
+
+
+class TestExhaustiveGeneratorOnBackends:
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_generate_returns_in_space_optimum(self, name):
+        from repro.hwmodel.generator import ExhaustiveHardwareGenerator
+
+        backend = get_backend(name)
+        space = backend.search_space("tiny")
+        generator = ExhaustiveHardwareGenerator(
+            search_space=space, cost_model=AcceleratorCostModel(backend=backend)
+        )
+        workload = [conv_layer("a", 8, 16, 8, 3), conv_layer("b", 16, 16, 8, 3)]
+        result = generator.generate(workload)
+        assert space.contains(result.config)
+        assert result.evaluations == len(space)
+        # No configuration in the space beats the reported optimum.
+        for candidate in space.config_list():
+            metrics = generator.cost_model.evaluate(workload, candidate)
+            assert result.cost <= generator.cost_function(metrics) + 0.0
+
+
+class TestEvaluatorOnBackends:
+    @pytest.fixture(scope="class")
+    def nas_space(self):
+        return build_cifar_search_space(
+            num_searchable=3, trainable_resolution=8, trainable_base_channels=4
+        )
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_encoding_widths_and_round_trip_follow_field_spec(self, name, nas_space):
+        from repro.evaluator.encoding import EvaluatorEncoding
+
+        space = get_backend(name).search_space("tiny")
+        encoding = EvaluatorEncoding(nas_space=nas_space, hw_space=space)
+        assert encoding.hw_backend_name == name
+        assert encoding.hw_field_order == space.field_names
+        assert encoding.hw_width == sum(encoding.hw_field_sizes.values())
+        config = space.config_list()[-1]
+        onehot = encoding.encode_hardware(config)
+        assert onehot.shape == (encoding.hw_width,)
+        assert encoding.decode_hardware(onehot) == config
+        assert tuple(encoding.hardware_class_indices(config)) == space.field_names
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_hw_generation_network_heads_follow_field_spec(self, name, nas_space):
+        from repro.evaluator import Evaluator
+
+        space = get_backend(name).search_space("tiny")
+        evaluator = Evaluator(nas_space, space, rng=0)
+        network = evaluator.hw_generation
+        assert tuple(network.heads) == space.field_names
+        arch = nas_space.encode_indices(np.zeros(nas_space.num_searchable, dtype=np.int64))
+        config = network.predict_config(arch)
+        assert isinstance(config, get_backend(name).config_type)
+        assert space.contains(config)
+        predicted_config, metrics = evaluator.predict(arch)
+        assert space.contains(predicted_config)
+        assert metrics.latency_ms > 0
+
+    @pytest.mark.parametrize("name", NON_DEFAULT_BACKENDS)
+    def test_dataset_generation_labels_use_backend_fields(self, name, nas_space):
+        from repro.evaluator import generate_evaluator_dataset
+
+        space = get_backend(name).search_space("tiny")
+        table = CostTable(nas_space, space)
+        dataset = generate_evaluator_dataset(
+            nas_space, space, num_samples=16, cost_table=table, rng=0
+        )
+        assert tuple(dataset.hw_class_indices) == space.field_names
+        assert dataset.hw_encodings.shape == (16, space.encoding_width)
+        # Every label row decodes to an in-space configuration.
+        for row in dataset.hw_encodings[:4]:
+            assert space.contains(space.decode(row))

@@ -146,6 +146,12 @@ class TestExperimentConfig:
         with pytest.raises(ValueError, match="unknown config keys"):
             ExperimentConfig.from_dict({"metod": "dance"})
 
+    def test_unknown_keys_get_did_you_mean_hint(self):
+        with pytest.raises(ValueError, match="did you mean 'method'"):
+            ExperimentConfig.from_dict({"metod": "dance"})
+        with pytest.raises(ValueError, match="did you mean 'search_epochs'"):
+            ExperimentConfig().apply_override("serch_epochs", "4")
+
     def test_invalid_values_rejected(self):
         with pytest.raises(ValueError):
             ExperimentConfig(method="evolution")
@@ -154,12 +160,24 @@ class TestExperimentConfig:
         with pytest.raises(ValueError):
             ExperimentConfig(cost="quadratic")
 
+    def test_backend_validated_with_hint(self):
+        assert ExperimentConfig(backend="systolic").backend == "systolic"
+        with pytest.raises(ValueError, match="did you mean 'systolic'"):
+            ExperimentConfig(backend="systolik")
+        with pytest.raises(ValueError, match="did you mean 'simd'"):
+            ExperimentConfig().apply_override("backend", "simdd")
+
+    def test_backend_names_run_directories(self):
+        assert ExperimentConfig().name == "dance-cifar-seed0"  # historical form
+        assert ExperimentConfig(backend="simd").name == "dance-cifar-seed0-simd"
+
     def test_apply_override_coerces_types(self):
         config = ExperimentConfig()
         assert config.apply_override("search_epochs", "7").search_epochs == 7
         assert config.apply_override("lambda_2", "0.25").lambda_2 == 0.25
         assert config.apply_override("retrain_final", "false").retrain_final is False
         assert config.apply_override("retrain_final", "on").retrain_final is True
+        assert config.apply_override("backend", "systolic").backend == "systolic"
         with pytest.raises(ValueError, match="unknown config key"):
             config.apply_override("no_such_field", "1")
 
@@ -251,6 +269,61 @@ class TestSearchResultSerialization:
         )
         restored = SearchResult.from_dict(json.loads(json.dumps(result.to_dict())))
         assert math.isnan(restored.accuracy)
+
+    def test_non_default_backend_hardware_roundtrip(self):
+        from repro.hwmodel.backends.systolic import SystolicConfig
+
+        result = SearchResult(
+            method="x",
+            op_indices=np.array([0], dtype=np.int64),
+            accuracy=0.5,
+            hardware=SystolicConfig(rows=64, cols=32, acc_depth=512),
+            metrics=HardwareMetrics(1.0, 1.0, 1.0),
+            search_seconds=0.0,
+        )
+        payload = result.to_dict()
+        assert payload["backend"] == "systolic"
+        restored = SearchResult.from_dict(json.loads(json.dumps(payload)))
+        assert restored.hardware == result.hardware
+        assert restored.backend_name == "systolic"
+
+    def test_text_tables_tag_non_default_backends(self):
+        from repro.core.results import format_results_table
+        from repro.hwmodel.backends.simd import SimdConfig
+
+        rows = [
+            SearchResult(
+                method="DANCE (w/ FF)",
+                op_indices=np.array([0], dtype=np.int64),
+                accuracy=0.5,
+                hardware=hardware,
+                metrics=HardwareMetrics(1.0, 1.0, 1.0),
+                search_seconds=0.0,
+            )
+            for hardware in (
+                AcceleratorConfig(8, 8, 16, "WS"),
+                SimdConfig(lanes=8, vector_rf=16, issue=1),
+            )
+        ]
+        table = format_results_table(rows)
+        assert "DANCE (w/ FF) [simd]" in table
+        assert "DANCE (w/ FF) [eyeriss]" not in table  # default stays untagged
+
+    def test_pre_backend_results_default_to_eyeriss(self):
+        """Result files written before the backend era load unchanged."""
+        payload = {
+            "method": "legacy",
+            "op_indices": [0],
+            "accuracy": 0.25,
+            "hardware": {"pe_x": 8, "pe_y": 8, "rf_size": 16, "dataflow": "WS"},
+            "metrics": {"latency_ms": 1.0, "energy_mj": 1.0, "area_mm2": 1.0},
+            "search_seconds": 0.0,
+            "candidates_trained": 1,
+            "history": [],
+        }
+        restored = SearchResult.from_dict(payload)
+        assert restored.hardware == AcceleratorConfig(8, 8, 16, "WS")
+        assert restored.backend_name == "eyeriss"
 
 
 # ----------------------------------------------------------------------
@@ -519,6 +592,54 @@ class TestRunnerFlows:
             assert components.searcher.method_name == config.method_name
             assert (components.evaluator is not None) == (method == "dance")
 
+    def test_factory_builds_backend_spaces(self):
+        for backend in ("eyeriss", "systolic", "simd"):
+            config = ExperimentConfig(method="baseline", backend=backend)
+            components = build_components(config)
+            assert components.hw_space.backend_name == backend
+            assert components.cost_table.backend_name == backend
+
+    def test_cross_backend_resume_bit_identical(self, tmp_path):
+        """Checkpoint/resume bit-identity holds on non-default backends.
+
+        ``baseline`` on ``systolic`` covers the generic cost-table path;
+        ``rl`` on ``simd`` additionally exercises the generic hardware
+        sampling / decoding inside the searcher itself.
+        """
+        cases = [
+            dict(method="baseline", backend="systolic", seed=0),
+            dict(method="rl", backend="simd", seed=1, rl_candidates=2, rl_candidate_epochs=1),
+        ]
+        for index, case in enumerate(cases):
+            config = ExperimentConfig(
+                retrain_final=False, **case, **{**TINY_RUN, "search_epochs": 2}
+            )
+            uninterrupted = Runner(base_dir=tmp_path / f"a{index}").run(config)
+            runner = Runner(base_dir=tmp_path / f"b{index}")
+            assert runner.run(config, max_steps=1) is None  # "killed" mid-search
+            resumed = runner.resume()
+            _assert_results_bit_identical(uninterrupted, resumed)
+            assert resumed.backend_name == case["backend"]
+
+    def test_sweep_grid_crosses_backends(self, tmp_path):
+        from repro.experiments import SweepPlan
+
+        config = ExperimentConfig(
+            method="baseline", seed=0, retrain_final=False, **{**TINY_RUN, "search_epochs": 1}
+        )
+        plan = SweepPlan.from_grid(
+            config, methods=["baseline"], seeds=[0], backends=["eyeriss", "systolic"]
+        )
+        assert [item.name for item in plan] == [
+            "baseline-cifar-seed0",
+            "baseline-cifar-seed0-systolic",
+        ]
+        runner = Runner(base_dir=tmp_path)
+        results = runner.sweep(
+            config, methods=["baseline"], seeds=[0], backends=["eyeriss", "systolic"]
+        )
+        assert sorted(result.backend_name for result in results) == ["eyeriss", "systolic"]
+
     def test_sweep_and_report(self, tmp_path):
         config = ExperimentConfig(
             seed=0, retrain_final=False, **{**TINY_RUN, "search_epochs": 1}
@@ -560,3 +681,29 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main(["--runs-dir", str(tmp_path), "run", "--set", "not-a-pair"])
+
+    def test_cli_backend_run_resume_and_json_report(self, tmp_path, capsys):
+        """`run --set backend=...` completes end to end, resumes, and the
+        aggregated status is available machine-readably."""
+        from repro.__main__ import main
+
+        runs = str(tmp_path / "runs")
+        base = ["--runs-dir", runs]
+        assert main(base + ["run", "--method", "baseline", "--seed", "0", "--max-steps", "1",
+                            "--set", "backend=systolic", "--set", "retrain_final=false",
+                            *self._tiny_args()]) == 0
+        assert "Paused" in capsys.readouterr().out
+        assert main(base + ["resume"]) == 0
+        assert "Baseline (No penalty) + HW" in capsys.readouterr().out
+        assert main(base + ["report", "--format", "json"]) == 0
+        raw = capsys.readouterr().out
+        # retrain_final=false -> NaN accuracy, which must surface as null so
+        # the document stays strict RFC-8259 JSON (no bare NaN tokens).
+        assert "NaN" not in raw
+        payload = json.loads(raw)
+        assert payload["summary"]["results"] == 1
+        assert payload["results"][0]["backend"] == "systolic"
+        assert payload["results"][0]["accuracy"] is None
+        (name, entry), = payload["runs"].items()
+        assert name == "baseline-cifar-seed0-systolic"
+        assert entry["state"] == "finished"

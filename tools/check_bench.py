@@ -49,6 +49,18 @@ def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -
     return rows
 
 
+def new_keys(fresh: dict, baseline: dict) -> list:
+    """Fresh benchmark keys absent from the committed baseline.
+
+    These are *listed but not gated*: a PR that adds a benchmark (e.g. a new
+    hardware backend's kernels) must not fail the regression gate merely
+    because the baseline predates the key.  Committing an updated baseline
+    later brings them under the gate.
+    """
+    baseline_results = baseline.get("results", {})
+    return sorted(key for key in fresh.get("results", {}) if key not in baseline_results)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="JSON written by a fresh benchmarks/run_bench.py run")
@@ -86,7 +98,8 @@ def main() -> int:
         return 1
 
     failed = [row for row in rows if not row[3]]
-    width = max(len(key) for key, *_ in rows)
+    extra = new_keys(fresh, baseline)
+    width = max(len(key) for key in [k for k, *_ in rows] + extra)
     for key, fresh_speedup, required, passed in rows:
         verdict = "ok  " if passed else "FAIL"
         detail = (
@@ -95,10 +108,14 @@ def main() -> int:
             else f"speedup {fresh_speedup:8.1f}x  (required >= {required:.1f}x)"
         )
         print(f"{verdict}  {key:<{width}}  {detail}")
+    for key in extra:
+        speedup = float(fresh["results"][key].get("speedup", float("nan")))
+        print(f"new   {key:<{width}}  speedup {speedup:8.1f}x  (not in baseline; not gated)")
     if failed:
         print(f"\nBenchmark regression gate FAILED for {len(failed)}/{len(rows)} benchmark(s).")
         return 1
-    print(f"\nBenchmark regression gate passed ({len(rows)} benchmark(s)).")
+    tail = f" + {len(extra)} new ungated" if extra else ""
+    print(f"\nBenchmark regression gate passed ({len(rows)} benchmark(s){tail}).")
     return 0
 
 
