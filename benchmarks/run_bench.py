@@ -187,6 +187,44 @@ def main() -> int:
         }
         print(f"{key + ':':<22}{before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
 
+    # ------------------------------------------------------------------
+    # 6. Supernet mixed-op step: per-candidate loop vs fused batched einsum
+    #    (soft gates — every candidate active — the search-space-scaling
+    #    regime; hard one-hot gates never take the fused path)
+    # ------------------------------------------------------------------
+    from repro.autograd.functional import softmax
+    from repro.autograd.tensor import Tensor
+    from repro.nas import ArchitectureParameters, SuperNet
+
+    bench_space = build_cifar_search_space(
+        trainable_base_channels=8 if bench_scale() == "small" else 16
+    )
+    supernet = SuperNet(bench_space, rng=0)
+    arch_params = ArchitectureParameters(bench_space, rng=1)
+    step_batch = 16 if bench_scale() == "small" else 32
+    images = np.random.default_rng(0).normal(size=(step_batch, 3, 8, 8))
+
+    def supernet_step(fused: bool) -> None:
+        for mixed in supernet.mixed_ops:
+            mixed.fuse_soft_gates = fused
+        supernet.zero_grad()
+        arch_params.zero_grad()
+        logits = supernet(Tensor(images), softmax(arch_params.alpha, axis=-1))
+        (logits * logits).mean().backward()
+
+    supernet_step(False)  # warm both paths before timing
+    supernet_step(True)
+    before = _time(lambda: supernet_step(False), repeats=3)
+    after = _time(lambda: supernet_step(True), repeats=3)
+    results["supernet_step"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "batch": step_batch,
+        "positions": bench_space.num_searchable,
+    }
+    print(f"supernet_step:        {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
     payload = {
         "benchmark": "costmodel",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

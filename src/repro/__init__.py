@@ -18,12 +18,17 @@ Package layout
     The DANCE co-exploration loop, the separate-design baselines, the
     RL-based comparator and the hardware cost functions.
 ``repro.data``
-    Synthetic image-classification datasets standing in for CIFAR-10 and
-    ImageNet in this offline environment.
+    Synthetic datasets: CIFAR-10/ImageNet image stand-ins, single-object
+    detection images with boxes, and 1-D sequence signals.
+``repro.tasks``
+    The pluggable ``TaskWorkload`` API and registry — the task-side twin of
+    ``repro.hwmodel.backends`` (built-ins: ``cifar``, ``imagenet``,
+    ``detection``, ``seq1d``).
 ``repro.experiments``
     The experiment-orchestration layer: the shared ``Searcher`` protocol,
     ``ExperimentConfig``, and the ``Runner`` with checkpoint / bit-identical
-    resume and multi-method sweeps (CLI: ``python -m repro``).
+    resume and multi-method / cross-backend / cross-task sweeps
+    (CLI: ``python -m repro``).
 
 Quick start
 -----------
@@ -32,7 +37,7 @@ Quick start
 >>> print(result.metrics.edap)                 # doctest: +SKIP
 """
 
-from repro import autograd, core, data, evaluator, experiments, hwmodel, nas, utils
+from repro import autograd, core, data, evaluator, experiments, hwmodel, nas, tasks, utils
 
 __version__ = "0.1.0"
 
@@ -87,6 +92,7 @@ __all__ = [
     "experiments",
     "hwmodel",
     "nas",
+    "tasks",
     "utils",
     "quick_coexploration",
     "__version__",

@@ -5,22 +5,27 @@ Subcommands (full reference with examples in ``docs/cli.md``):
 * ``run``    — launch one configured search (periodically checkpointed);
 * ``resume`` — continue a killed/paused run bit-identically from its
   checkpoint (defaults to the most recent unfinished run);
-* ``sweep``  — run a (backends x) methods x seeds grid (``--jobs N``
-  parallel workers, ``--shard I/OF`` for CI fan-out, ``--backends`` to
-  cross hardware backends) and write a combined report;
+* ``sweep``  — run a (backends x tasks x) methods x seeds grid (``--jobs N``
+  parallel workers, ``--shard I/OF`` for CI fan-out, ``--backends`` /
+  ``--tasks`` to cross hardware backends and task workloads) and write a
+  combined report;
 * ``report`` — render all saved results as the paper-style tables, plus the
-  state of any partial or in-flight sweep (``--format json`` for the
-  machine-readable aggregate).
+  state of any partial or in-flight sweep (``--pareto`` adds the
+  error-vs-EDAP Pareto front, ``--format json`` the machine-readable
+  aggregate, which always includes the Pareto records).
 
 Examples::
 
     python -m repro run --method dance --seed 0
     python -m repro run --set backend=systolic --seed 1
+    python -m repro run --set task=detection --seed 0
     python -m repro resume
     python -m repro sweep --methods baseline baseline_flops dance --seeds 0 1 --jobs 4
     python -m repro sweep --methods dance rl --seeds 0 1 2 --shard 1/3
     python -m repro sweep --backends eyeriss systolic simd --methods dance --seeds 0
+    python -m repro sweep --tasks cifar,detection --methods dance --seeds 0
     python -m repro report
+    python -m repro report --pareto
     python -m repro report --format json
 """
 
@@ -42,6 +47,16 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _name_list(tokens: Optional[List[str]], flag: str) -> Optional[List[str]]:
+    """Normalise a grid-axis flag's tokens (space- and/or comma-separated)."""
+    if not tokens:
+        return None
+    names = [name for token in tokens for name in token.split(",") if name]
+    if not names:
+        raise SystemExit(f"{flag} expects at least one name")
+    return names
 
 
 def _add_common_run_options(parser: argparse.ArgumentParser) -> None:
@@ -102,7 +117,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backends",
         nargs="+",
         metavar="BACKEND",
-        help="hardware backends to cross the grid over (default: the config's backend)",
+        help="hardware backends to cross the grid over, space- or comma-separated "
+        "(default: the config's backend)",
+    )
+    sweep.add_argument(
+        "--tasks",
+        nargs="+",
+        metavar="TASK",
+        help="task workloads to cross the grid over, space- or comma-separated "
+        "(default: the config's task)",
     )
     sweep.add_argument(
         "--jobs",
@@ -131,7 +154,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--format",
         choices=("text", "json"),
         default="text",
-        help="text tables (default) or the machine-readable JSON aggregate",
+        help="text tables (default) or the machine-readable JSON aggregate "
+        "(which always includes the Pareto records)",
+    )
+    report.add_argument(
+        "--pareto",
+        action="store_true",
+        help="append the error-vs-EDAP Pareto front (Figure 5 style) to the text report",
     )
     report.add_argument(
         "--lock-ttl",
@@ -190,7 +219,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = _config_from_args(args)
         try:
             plan = SweepPlan.from_grid(
-                config, methods=args.methods, seeds=args.seeds, backends=args.backends
+                config,
+                methods=args.methods,
+                seeds=args.seeds,
+                backends=_name_list(args.backends, "--backends"),
+                tasks=_name_list(args.tasks, "--tasks"),
             )
             if args.shard:
                 plan = plan.shard(*parse_shard(args.shard))
@@ -220,7 +253,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             # guarantees the emitted document stays strict RFC-8259 JSON.
             print(json.dumps(data, indent=2, allow_nan=False))
         else:
-            print(runner.report(root=args.workdir, lock_ttl=args.lock_ttl))
+            print(
+                runner.report(
+                    root=args.workdir, lock_ttl=args.lock_ttl, include_pareto=args.pareto
+                )
+            )
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -72,6 +72,70 @@ def _col2im(
     return padded[:, :, ph : ph + h, pw : pw + w]
 
 
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: Union[int, Tuple[int, int]] = 1,
+    padding: Union[int, Tuple[int, int]] = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Functional grouped 2-D convolution over NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``
+    and may be any autograd tensor — in particular a runtime concatenation
+    of several layers' parameters, which is how the supernet's fused
+    mixed-operation path evaluates all candidates of one position in a
+    single batched einsum.  :class:`Conv2d` delegates here, so the module
+    and functional forms share one float path.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
+    kernel = (weight.shape[2], weight.shape[3])
+    stride = _pair(stride)
+    padding = _pair(padding)
+    n, c, h, w = x.shape
+    out_channels = weight.shape[0]
+    if c != weight.shape[1] * groups:
+        raise ValueError(
+            f"expected {weight.shape[1] * groups} input channels, got {c}"
+        )
+
+    cols, (out_h, out_w) = _im2col(x.data, kernel, stride, padding)
+    kh, kw = kernel
+    group_in = c // groups
+    group_out = out_channels // groups
+
+    # One batched einsum over a groups axis replaces the per-group loop;
+    # with groups == 1 this degenerates to the plain im2col matmul.
+    cols_grouped = cols.reshape(n, groups, group_in * kh * kw, out_h * out_w)
+    weight_grouped = weight.data.reshape(groups, group_out, group_in * kh * kw)
+    out = np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
+    out_data = out.reshape(n, out_channels, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float64).reshape(n, out_channels, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
+        if weight.requires_grad:
+            grad_w = np.einsum("ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True)
+            weight._accumulate(grad_w.reshape(weight.data.shape))
+        if x.requires_grad:
+            grad_cols = np.einsum("gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True)
+            grad_cols_flat = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
+            x._accumulate(
+                _col2im(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w))
+            )
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    return Tensor._make(out_data, parents, backward)
+
+
 class Conv2d(Module):
     """2-D convolution with optional grouping (``groups=in_channels`` = depthwise)."""
 
@@ -111,53 +175,34 @@ class Conv2d(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
-        x = as_tensor(x)
-        if x.ndim != 4:
-            raise ValueError(f"Conv2d expects NCHW input, got shape {x.shape}")
-        weight = self.weight
-        bias = self.bias
-        kernel = self.kernel_size
-        stride = self.stride
-        padding = self.padding
-        groups = self.groups
-        n, c, h, w = x.shape
-        if c != self.in_channels:
-            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        return conv2d(
+            x,
+            self.weight,
+            bias=self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
 
-        cols, (out_h, out_w) = _im2col(x.data, kernel, stride, padding)
-        kh, kw = kernel
-        group_in = self.in_channels // groups
-        group_out = self.out_channels // groups
 
-        # One batched einsum over a groups axis replaces the per-group loop;
-        # with groups == 1 this degenerates to the plain im2col matmul.
-        cols_grouped = cols.reshape(n, groups, group_in * kh * kw, out_h * out_w)
-        weight_grouped = weight.data.reshape(groups, group_out, group_in * kh * kw)
-        out = np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
-        out_data = out.reshape(n, self.out_channels, out_h, out_w)
-        if bias is not None:
-            out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+def batchnorm_affine(
+    x: Tensor, mean: Tensor, var: Tensor, scale: Tensor, shift: Tensor, eps: float
+) -> Tensor:
+    """The batch-norm normalisation expression, shared by every BN path.
 
-        conv = self
+    :class:`BatchNorm2d` and the supernet's fused mixed-op batch norm both
+    call this, so the two float paths cannot drift apart.
+    """
+    normalised = (x - mean) / (var + eps) ** 0.5
+    return normalised * scale + shift
 
-        def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64).reshape(n, conv.out_channels, out_h * out_w)
-            if bias is not None and bias.requires_grad:
-                bias._accumulate(grad.sum(axis=(0, 2)))
-            grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
-            if weight.requires_grad:
-                grad_w = np.einsum(
-                    "ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True
-                )
-                weight._accumulate(grad_w.reshape(weight.data.shape))
-            if x.requires_grad:
-                grad_cols = np.einsum(
-                    "gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True
-                )
-                grad_cols_flat = grad_cols.reshape(n, conv.in_channels * kh * kw, out_h * out_w)
-                x._accumulate(_col2im(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w)))
 
-        return Tensor._make(out_data, (x, weight) + ((bias,) if bias is not None else ()), backward)
+def batch_moments(x: Tensor, axes: Tuple[int, ...]) -> Tuple[Tensor, Tensor]:
+    """Per-channel batch mean and (biased) variance over ``axes``."""
+    mean = x.mean(axis=axes, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=axes, keepdims=True)
+    return mean, var
 
 
 class BatchNorm2d(Module):
@@ -173,28 +218,28 @@ class BatchNorm2d(Module):
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
 
+    def update_running(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        """Momentum-blend one batch's statistics into the running buffers."""
+        self._buffers["running_mean"][...] = (
+            (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * batch_mean
+        )
+        self._buffers["running_var"][...] = (
+            (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var
+        )
+
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         x = as_tensor(x)
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
-        axes = (0, 2, 3)
         if self.training:
-            mean = x.mean(axis=axes, keepdims=True)
-            centered = x - mean
-            var = (centered * centered).mean(axis=axes, keepdims=True)
-            self._buffers["running_mean"][...] = (
-                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean.data.reshape(-1)
-            )
-            self._buffers["running_var"][...] = (
-                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * var.data.reshape(-1)
-            )
+            mean, var = batch_moments(x, (0, 2, 3))
+            self.update_running(mean.data.reshape(-1), var.data.reshape(-1))
         else:
             mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
             var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
-        normalised = (x - mean) / (var + self.eps) ** 0.5
         scale = self.weight.reshape(1, self.num_features, 1, 1)
         shift = self.bias.reshape(1, self.num_features, 1, 1)
-        return normalised * scale + shift
+        return batchnorm_affine(x, mean, var, scale, shift, self.eps)
 
 
 class AvgPool2d(Module):

@@ -20,7 +20,6 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd.functional import cross_entropy
 from repro.autograd.optim import Adam, SGD
 from repro.autograd.scheduler import CosineAnnealingLR
 from repro.autograd.tensor import Tensor
@@ -73,6 +72,7 @@ class BaselineSearcher:
         self.cost_table = cost_table
         self.hw_cost_function = hw_cost_function or EDAPCostFunction()
         self.config = config or BaselineConfig()
+        self.task_head = search_space.output_head
         self.flops_model = FlopsModel(search_space)
         self.method_name = self._default_method_name()
         self._rng = as_rng(rng)
@@ -135,7 +135,9 @@ class BaselineSearcher:
                 temperature=config.gumbel_temperature, hard=True, rng=self._rng
             )
             logits = self._supernet(Tensor(images), gates)
-            weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+            weight_loss = self.task_head.loss(
+                logits, labels, label_smoothing=config.label_smoothing
+            )
             self._weight_optimizer.zero_grad()
             self._arch_params.zero_grad()
             weight_loss.backward()
@@ -150,7 +152,7 @@ class BaselineSearcher:
             gates = self._arch_params.sample_gumbel(
                 temperature=config.gumbel_temperature, hard=True, rng=self._rng
             )
-            arch_loss = cross_entropy(
+            arch_loss = self.task_head.loss(
                 self._supernet(Tensor(val_images), gates), val_labels,
                 label_smoothing=config.label_smoothing,
             )

@@ -33,7 +33,6 @@ from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.autograd.functional import cross_entropy
 from repro.autograd.optim import Adam, SGD
 from repro.autograd.scheduler import CosineAnnealingLR
 from repro.autograd.tensor import Tensor
@@ -92,6 +91,7 @@ class DanceSearcher:
         self.cost_table = cost_table
         self.cost_function = cost_function or EDAPCostFunction()
         self.config = config or DanceConfig()
+        self.task_head = search_space.output_head
         self.method_name = "DANCE"
         self._rng = as_rng(rng)
         self._ready = False
@@ -136,6 +136,7 @@ class DanceSearcher:
             self.cost_function,
             label_smoothing=config.label_smoothing,
             cost_normalizer=self._reference_cost(),
+            task_head=self.task_head,
         )
         self._train_loader = DataLoader(train_set, config.batch_size, shuffle=True, rng=self._rng)
         self._val_loader = DataLoader(val_set, config.batch_size, shuffle=True, rng=self._rng)
@@ -160,7 +161,9 @@ class DanceSearcher:
                 temperature=config.gumbel_temperature, hard=True, rng=self._rng
             )
             logits = self._supernet(Tensor(images), gates)
-            weight_loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+            weight_loss = self.task_head.loss(
+                logits, labels, label_smoothing=config.label_smoothing
+            )
             self._weight_optimizer.zero_grad()
             self._arch_params.zero_grad()
             weight_loss.backward()

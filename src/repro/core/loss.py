@@ -17,7 +17,6 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.autograd.functional import cross_entropy
 from repro.autograd.tensor import Tensor
 from repro.core.cost_functions import HardwareCostFunction
 
@@ -53,6 +52,10 @@ class CoExplorationLoss:
         Optional constant the hardware cost is divided by, so that
         ``lambda_2`` values are comparable across cost functions with very
         different magnitudes (EDAP vs linear).
+    task_head:
+        The task's :class:`~repro.tasks.heads.TaskHead` computing the
+        task-loss term; ``None`` keeps the historical label-smoothed
+        cross-entropy (the classification head's loss).
     """
 
     def __init__(
@@ -61,13 +64,17 @@ class CoExplorationLoss:
         lambda_1: float = 0.0,
         label_smoothing: float = 0.1,
         cost_normalizer: float = 1.0,
+        task_head=None,
     ) -> None:
         if cost_normalizer <= 0:
             raise ValueError("cost_normalizer must be positive")
+        from repro.tasks.heads import resolve_head
+
         self.cost_function = cost_function
         self.lambda_1 = lambda_1
         self.label_smoothing = label_smoothing
         self.cost_normalizer = cost_normalizer
+        self.task_head = resolve_head(task_head)
 
     def weight_norm(self, parameters: Iterable[Tensor]) -> Tensor:
         """Sum of squared parameter norms (the ``||w||`` term)."""
@@ -88,7 +95,7 @@ class CoExplorationLoss:
         weight_parameters: Optional[Iterable[Tensor]] = None,
     ) -> Tensor:
         """Assemble the differentiable combined loss for one step."""
-        loss = cross_entropy(logits, targets, label_smoothing=self.label_smoothing)
+        loss = self.task_head.loss(logits, targets, label_smoothing=self.label_smoothing)
         if self.lambda_1 > 0.0 and weight_parameters is not None:
             loss = loss + self.weight_norm(weight_parameters) * self.lambda_1
         hardware_cost = self.cost_function(predicted_metrics) * (1.0 / self.cost_normalizer)
@@ -103,7 +110,7 @@ class CoExplorationLoss:
         weight_parameters: Optional[Iterable[Tensor]] = None,
     ) -> LossBreakdown:
         """Detached per-term values (for logging / tests)."""
-        ce = cross_entropy(logits, targets, label_smoothing=self.label_smoothing).item()
+        ce = self.task_head.loss(logits, targets, label_smoothing=self.label_smoothing).item()
         wd = 0.0
         if self.lambda_1 > 0.0 and weight_parameters is not None:
             wd = self.lambda_1 * self.weight_norm(weight_parameters).item()

@@ -12,14 +12,25 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.autograd.functional import cross_entropy
 from repro.autograd.module import Module
 from repro.autograd.optim import SGD
 from repro.autograd.scheduler import CosineAnnealingLR
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.loaders import DataLoader
 from repro.data.synthetic import ImageClassificationDataset
+from repro.tasks.heads import TaskHead, resolve_head
 from repro.utils.seeding import as_rng
+
+
+def network_head(network: Module) -> TaskHead:
+    """The task head a network was built with (classification by default).
+
+    :class:`~repro.nas.supernet.SuperNet` and
+    :class:`~repro.nas.supernet.DerivedNetwork` carry their search space's
+    head as ``task_head``; plain classifier modules fall back to the
+    classification head, preserving the historical behaviour.
+    """
+    return resolve_head(getattr(network, "task_head", None))
 
 
 @dataclass
@@ -38,7 +49,13 @@ class ClassifierTrainingConfig:
 def evaluate_classifier(
     network: Module, dataset: ImageClassificationDataset, batch_size: int = 64
 ) -> float:
-    """Top-1 accuracy of ``network`` on ``dataset`` (evaluation mode)."""
+    """Top-1 class accuracy of ``network`` on ``dataset`` (evaluation mode).
+
+    The network's task head extracts predictions and ground-truth labels, so
+    the same loop scores plain classifiers and multi-output heads (e.g.
+    detection, where accuracy is measured on the class branch).
+    """
+    head = network_head(network)
     was_training = network.training
     network.eval()
     correct = 0
@@ -46,12 +63,12 @@ def evaluate_classifier(
     try:
         with no_grad():
             for start in range(0, len(dataset), batch_size):
-                images = dataset.images[start : start + batch_size]
-                labels = dataset.labels[start : start + batch_size]
-                logits = network(Tensor(images))
-                predictions = logits.data.argmax(axis=-1)
-                correct += int((predictions == labels).sum())
-                total += labels.shape[0]
+                stop = min(start + batch_size, len(dataset))
+                images = dataset.images[start:stop]
+                targets = dataset.targets(np.arange(start, stop))
+                outputs = network(Tensor(images))
+                correct += head.correct_count(outputs, targets)
+                total += stop - start
     finally:
         network.train(was_training)
     return correct / max(total, 1)
@@ -71,6 +88,7 @@ def train_classifier(
     smoothing — at reduced epoch counts.
     """
     config = config or ClassifierTrainingConfig()
+    head = network_head(network)
     generator = as_rng(rng)
     loader = DataLoader(train_set, batch_size=config.batch_size, shuffle=True, rng=generator)
     optimizer = SGD(
@@ -84,9 +102,9 @@ def train_classifier(
     network.train()
     for epoch in range(config.epochs):
         scheduler.step(epoch)
-        for images, labels in loader:
-            logits = network(Tensor(images))
-            loss = cross_entropy(logits, labels, label_smoothing=config.label_smoothing)
+        for images, targets in loader:
+            outputs = network(Tensor(images))
+            loss = head.loss(outputs, targets, label_smoothing=config.label_smoothing)
             optimizer.zero_grad()
             loss.backward()
             optimizer.step()

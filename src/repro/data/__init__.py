@@ -1,6 +1,8 @@
-"""Synthetic dataset substrate (offline stand-in for CIFAR-10 / ImageNet)."""
+"""Synthetic dataset substrate: classification, detection and sequence tasks."""
 
+from repro.data.detection import DetectionDataset, DetectionTargets, make_detection_dataset
 from repro.data.loaders import DataLoader, train_val_split
+from repro.data.sequences import make_sequence_dataset
 from repro.data.synthetic import (
     ImageClassificationDataset,
     make_cifar_like,
@@ -12,7 +14,11 @@ __all__ = [
     "DataLoader",
     "train_val_split",
     "ImageClassificationDataset",
+    "DetectionDataset",
+    "DetectionTargets",
     "make_cifar_like",
     "make_imagenet_like",
     "make_synthetic_dataset",
+    "make_detection_dataset",
+    "make_sequence_dataset",
 ]

@@ -13,8 +13,11 @@ from repro.utils.seeding import as_rng
 class DataLoader:
     """Mini-batch iterator with optional shuffling.
 
-    Iterating yields ``(images, labels)`` numpy pairs; a fresh shuffle order
-    is drawn on every epoch when ``shuffle`` is enabled.
+    Iterating yields ``(images, targets)`` pairs; a fresh shuffle order is
+    drawn on every epoch when ``shuffle`` is enabled.  ``targets`` is
+    whatever the dataset's :meth:`~repro.data.synthetic.ImageClassificationDataset.targets`
+    returns — a plain label array for classification, a richer record for
+    tasks like detection.
     """
 
     def __init__(
@@ -47,7 +50,7 @@ class DataLoader:
             batch_idx = indices[start : start + self.batch_size]
             if self.drop_last and batch_idx.shape[0] < self.batch_size:
                 break
-            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]
+            yield self.dataset.images[batch_idx], self.dataset.targets(batch_idx)
 
 
 def train_val_split(

@@ -44,6 +44,15 @@ class ImageClassificationDataset:
         """(channels, height, width) of one image."""
         return tuple(self.images.shape[1:])  # type: ignore[return-value]
 
+    def targets(self, indices: np.ndarray):
+        """Loader targets for ``indices`` — plain class labels here.
+
+        Task-specific datasets override this to bundle richer supervision
+        (e.g. boxes alongside labels); the data loaders and training loops
+        only ever pass targets through to the task's loss/metric head.
+        """
+        return self.labels[indices]
+
     def subset(self, indices: np.ndarray) -> "ImageClassificationDataset":
         """Return a new dataset restricted to ``indices``."""
         return ImageClassificationDataset(

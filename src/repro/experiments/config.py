@@ -40,11 +40,11 @@ class ExperimentConfig:
     method: str = "dance"
     seed: int = 0
 
-    # -- classification task ------------------------------------------
-    task: str = "cifar"          # "cifar" | "imagenet"
-    num_classes: int = 0         # 0 = task default (10 for cifar, 20 for imagenet)
+    # -- task workload --------------------------------------------------
+    task: str = "cifar"          # any registered task workload (see docs/tasks.md)
+    num_classes: int = 0         # 0 = the task's default class count
     image_samples: int = 256
-    resolution: int = 8
+    resolution: int = 8          # trainable image side / sequence length
 
     # -- architecture search space A -----------------------------------
     num_searchable: int = 9
@@ -88,14 +88,16 @@ class ExperimentConfig:
             raise ValueError(f"unknown method {self.method!r}; expected one of {sorted(METHODS)}")
         if self.checkpoint_every < 0:
             raise ValueError(f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
-        if self.task not in ("cifar", "imagenet"):
-            raise ValueError(f"unknown task {self.task!r}; expected 'cifar' or 'imagenet'")
         if self.hw_space not in ("tiny", "full"):
             raise ValueError(f"unknown hw_space {self.hw_space!r}; expected 'tiny' or 'full'")
         if self.cost not in ("edap", "linear"):
             raise ValueError(f"unknown cost {self.cost!r}; expected 'edap' or 'linear'")
         from repro.hwmodel.backends import available_backends
+        from repro.tasks import get_task
 
+        # get_task raises the canonical did-you-mean ValueError on unknown
+        # names, and only imports the one task module actually requested.
+        get_task(self.task)
         known = available_backends()
         if self.backend not in known:
             raise ValueError(
@@ -124,10 +126,12 @@ class ExperimentConfig:
 
     @property
     def effective_num_classes(self) -> int:
-        """``num_classes`` with the per-task default applied."""
+        """``num_classes`` with the task-registry default applied."""
         if self.num_classes > 0:
             return self.num_classes
-        return 10 if self.task == "cifar" else 20
+        from repro.tasks import get_task
+
+        return get_task(self.task).default_num_classes
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -27,15 +27,15 @@ from repro.core import (
     get_cost_function,
 )
 from repro.core.cost_functions import HardwareCostFunction
-from repro.data import make_cifar_like, make_imagenet_like, train_val_split
+from repro.data import train_val_split
 from repro.data.synthetic import ImageClassificationDataset
 from repro.evaluator import Evaluator, generate_evaluator_dataset, train_evaluator
 from repro.experiments.config import ExperimentConfig
 from repro.hwmodel import HardwareSearchSpace, get_backend
 from repro.hwmodel.backends.base import SearchSpaceBase
 from repro.hwmodel.cost_model import CostTable
-from repro.nas import build_cifar_search_space, build_imagenet_search_space
 from repro.nas.search_space import NASSearchSpace
+from repro.tasks import get_task
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.factory")
@@ -66,14 +66,8 @@ class ExperimentComponents:
 
 
 def build_search_space(config: ExperimentConfig) -> NASSearchSpace:
-    """The architecture space A for the config's task."""
-    builder = build_cifar_search_space if config.task == "cifar" else build_imagenet_search_space
-    return builder(
-        num_classes=config.effective_num_classes,
-        num_searchable=config.num_searchable,
-        trainable_resolution=config.trainable_resolution,
-        trainable_base_channels=config.trainable_base_channels,
-    )
+    """The architecture space A of the config's task workload."""
+    return get_task(config.task).build_search_space(config)
 
 
 def build_hw_space(config: ExperimentConfig) -> Union[HardwareSearchSpace, SearchSpaceBase]:
@@ -96,21 +90,15 @@ def build_cost_function(config: ExperimentConfig) -> HardwareCostFunction:
 def build_datasets(
     config: ExperimentConfig,
 ) -> Tuple[ImageClassificationDataset, ImageClassificationDataset]:
-    """The synthetic classification task, split into (train, validation)."""
-    if config.task == "cifar":
-        images = make_cifar_like(
-            num_samples=config.image_samples,
-            resolution=config.resolution,
-            rng=config.seed + SEED_IMAGES,
-        )
-    else:
-        images = make_imagenet_like(
-            num_samples=config.image_samples,
-            resolution=config.resolution,
-            num_classes=config.effective_num_classes,
-            rng=config.seed + SEED_IMAGES,
-        )
-    return train_val_split(images, val_fraction=0.25, rng=config.seed + SEED_IMAGE_SPLIT)
+    """The task workload's synthetic dataset, split into (train, validation).
+
+    The task builds its full dataset from the ``SEED_IMAGES`` stream and the
+    split consumes ``SEED_IMAGE_SPLIT`` — the exact seed offsets of the
+    historical CIFAR/ImageNet path, so classification runs keep their RNG
+    streams bit-identical through the task layer.
+    """
+    dataset = get_task(config.task).build_dataset(config, rng=config.seed + SEED_IMAGES)
+    return train_val_split(dataset, val_fraction=0.25, rng=config.seed + SEED_IMAGE_SPLIT)
 
 
 def build_evaluator(

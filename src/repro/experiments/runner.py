@@ -257,22 +257,26 @@ class Runner:
         shard: Optional[Tuple[int, int]] = None,
         lock_ttl: Optional[float] = None,
         backends: Optional[Sequence[str]] = None,
+        tasks: Optional[Sequence[str]] = None,
     ) -> List[SearchResult]:
-        """Run every (backend, method, seed) combination and write a report.
+        """Run every (backend, task, method, seed) combination and write a report.
 
         All sweeps — serial and parallel — go through the crash-safe work
         queue of :mod:`repro.experiments.sweep`: ``jobs`` workers claim runs
         via per-directory file locks, ``shard=(i, of)`` restricts this
         invocation to the i-th of ``of`` disjoint grid slices (CI fan-out),
-        and ``backends`` crosses the grid over several hardware backends.
-        Finished sub-runs are skipped (their saved results are reused), so an
-        interrupted sweep is simply re-launched.  Raises ``RuntimeError`` if
-        any run of this invocation's slice did not finish; partial progress
-        is kept on disk and reported by :meth:`report`.
+        ``backends`` crosses the grid over several hardware backends and
+        ``tasks`` over several task workloads.  Finished sub-runs are
+        skipped (their saved results are reused), so an interrupted sweep is
+        simply re-launched.  Raises ``RuntimeError`` if any run of this
+        invocation's slice did not finish; partial progress is kept on disk
+        and reported by :meth:`report`.
         """
         from repro.experiments.sweep import DEFAULT_LOCK_TTL, SweepPlan, run_sweep
 
-        plan = SweepPlan.from_grid(base_config, methods=methods, seeds=seeds, backends=backends)
+        plan = SweepPlan.from_grid(
+            base_config, methods=methods, seeds=seeds, backends=backends, tasks=tasks
+        )
         if shard is not None:
             plan = plan.shard(*shard)
         outcome = run_sweep(
@@ -292,11 +296,94 @@ class Runner:
 
     def collect_results(self, root: Optional[Union[str, Path]] = None) -> List[SearchResult]:
         """Load every saved ``result.json`` under ``root`` (default: base dir)."""
+        return [result for _, result in self.collect_named_results(root)]
+
+    def collect_named_results(
+        self, root: Optional[Union[str, Path]] = None
+    ) -> List[Tuple[str, SearchResult]]:
+        """Every saved result paired with its root-relative run directory.
+
+        For the usual flat layout the name is the run-directory name
+        (``method-task-seedN[-backend]``); nested sweep roots keep their
+        subpath so two same-named runs in different subtrees stay distinct.
+        The Pareto view reuses the name, so a point is traceable back to its
+        run directory.
+        """
         root = Path(root) if root is not None else self.base_dir
         results = []
         for path in sorted(root.rglob(RESULT_FILE)):
-            results.append(SearchResult.from_dict(load_json(path)))
+            name = str(path.parent.relative_to(root))
+            if name == ".":
+                # The root itself is a run directory: keep its real name.
+                name = path.parent.resolve().name
+            results.append((name, SearchResult.from_dict(load_json(path))))
         return results
+
+    # ------------------------------------------------------------------
+    # Pareto view (error vs EDAP, Figure-5 style)
+    # ------------------------------------------------------------------
+    def pareto_data(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        named_results: Optional[Sequence[Tuple[str, SearchResult]]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Error-vs-EDAP records of every finished run, flagging the front.
+
+        Dominance is computed with :func:`repro.hwmodel.metrics.pareto_front`
+        over ``(error, EDAP)`` — a run survives unless another run is no
+        worse on both axes and strictly better on one.  Runs whose accuracy
+        is not finite (``retrain_final=false``) have no error coordinate and
+        are excluded.  Records are sorted by EDAP, so the surviving points
+        read as the Figure-5 front left to right.  ``named_results`` lets a
+        caller that already collected the run results reuse them instead of
+        re-reading every ``result.json``.
+        """
+        from repro.hwmodel.metrics import HardwareMetrics, pareto_front
+
+        if named_results is None:
+            named_results = self.collect_named_results(root)
+        named = [
+            (name, result)
+            for name, result in named_results
+            if math.isfinite(result.accuracy)
+        ]
+        # Index payloads keep front membership per *run*, immune to any name
+        # collision between results passed in by a caller.
+        points = [
+            (index, HardwareMetrics(result.error, result.edap, 0.0))
+            for index, (_, result) in enumerate(named)
+        ]
+        front = {index for index, _ in pareto_front(points)}
+        records = [
+            {
+                "run": name,
+                "method": result.method,
+                "backend": result.backend_name,
+                "accuracy": result.accuracy,
+                "error": result.error,
+                "edap": result.edap,
+                "on_front": index in front,
+            }
+            for index, (name, result) in enumerate(named)
+        ]
+        return sorted(records, key=lambda record: (record["edap"], record["error"]))
+
+    def format_pareto(self, records: Sequence[Dict[str, Any]]) -> str:
+        """Render the Pareto records as a Figure-5 style text table."""
+        title = "Error-vs-EDAP Pareto front (Figure 5 style)"
+        if not records:
+            return f"{title}\n(no finished runs with finite accuracy)"
+        width = max(len("Run"), *(len(record["run"]) for record in records)) + 2
+        header = f"{'Run':<{width}}{'Err.(%)':>9}{'EDAP':>12}{'Front':>7}"
+        lines = [title, header, "-" * len(header)]
+        for record in records:
+            lines.append(
+                f"{record['run']:<{width}}"
+                f"{100.0 * record['error']:>9.1f}"
+                f"{record['edap']:>12.2f}"
+                f"{'*' if record['on_front'] else '':>7}"
+            )
+        return "\n".join(lines)
 
     def format_report(self, results: Sequence[SearchResult], title: str = "Results") -> str:
         """Render results as the Table-2 style and Table-3 style text tables."""
@@ -314,6 +401,7 @@ class Runner:
         root: Optional[Union[str, Path]] = None,
         include_status: bool = True,
         lock_ttl: Optional[float] = None,
+        include_pareto: bool = False,
     ) -> str:
         """Collect saved results and render the combined report.
 
@@ -328,7 +416,12 @@ class Runner:
         from repro.experiments.sweep import DEFAULT_LOCK_TTL, format_sweep_status, sweep_status
 
         root = Path(root) if root is not None else self.base_dir
-        report = self.format_report(self.collect_results(root), title=f"Results under {root}")
+        named = self.collect_named_results(root)
+        report = self.format_report(
+            [result for _, result in named], title=f"Results under {root}"
+        )
+        if include_pareto:
+            report += "\n\n" + self.format_pareto(self.pareto_data(named_results=named))
         if include_status:
             status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
             if any(entry["state"] != "finished" for entry in status.values()):
@@ -354,7 +447,8 @@ class Runner:
         from repro.experiments.sweep import DEFAULT_LOCK_TTL, sweep_status
 
         root = Path(root) if root is not None else self.base_dir
-        results = self.collect_results(root)
+        named = self.collect_named_results(root)
+        results = [result for _, result in named]
         status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
         states: Dict[str, int] = {}
         for entry in status.values():
@@ -363,6 +457,7 @@ class Runner:
             {
                 "root": str(root),
                 "results": [result.to_dict() for result in results],
+                "pareto": self.pareto_data(named_results=named),
                 "runs": status,
                 "summary": {
                     "results": len(results),

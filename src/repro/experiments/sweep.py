@@ -86,23 +86,28 @@ class SweepPlan:
         methods: Optional[Sequence[str]] = None,
         seeds: Optional[Sequence[int]] = None,
         backends: Optional[Sequence[str]] = None,
+        tasks: Optional[Sequence[str]] = None,
     ) -> "SweepPlan":
-        """Expand ``base_config`` into the (backend, method, seed) grid.
+        """Expand ``base_config`` into the (backend, task, method, seed) grid.
 
-        Expansion is backend-major, then method-major, matching the serial
-        ``Runner.sweep`` loop, so reports list runs identically regardless
-        of execution strategy.  ``backends`` defaults to the base config's
-        single backend; passing several crosses the whole grid over them.
+        Expansion is backend-major, then task-major, then method-major,
+        matching the serial ``Runner.sweep`` loop, so reports list runs
+        identically regardless of execution strategy.  ``backends`` and
+        ``tasks`` default to the base config's single backend/task; passing
+        several crosses the whole grid over them (task names are validated
+        against the task registry when each per-run config is built).
         """
         methods = list(methods) if methods is not None else [base_config.method]
         seeds = list(seeds) if seeds is not None else [base_config.seed]
         backends = list(backends) if backends is not None else [base_config.backend]
+        tasks = list(tasks) if tasks is not None else [base_config.task]
         for method in methods:
             if method not in METHODS:
                 raise ValueError(f"unknown method {method!r}; expected one of {sorted(METHODS)}")
         items = tuple(
-            WorkItem(base_config.replace(backend=backend, method=method, seed=seed))
+            WorkItem(base_config.replace(backend=backend, task=task, method=method, seed=seed))
             for backend in backends
+            for task in tasks
             for method in methods
             for seed in seeds
         )

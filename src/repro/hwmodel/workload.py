@@ -322,6 +322,64 @@ def mbconv_layers(
     return layers
 
 
+def mbconv1d_layers(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    length: int,
+    kernel_size: int,
+    expansion: int,
+    stride: int = 1,
+    batch: int = 1,
+) -> List[ConvLayerShape]:
+    """Expand a 1-D MBConv block into its three convolution layers.
+
+    The 1-D counterpart of :func:`mbconv_layers` for sequence workloads:
+    activations have height 1 and width ``length``, the depthwise kernel is
+    ``(1, kernel_size)``, and the stride applies along the sequence axis.
+    These layers exercise the cost model with genuinely non-square feature
+    maps and filters.
+    """
+    if expansion <= 0:
+        raise ValueError("expansion must be positive")
+    hidden = in_channels * expansion
+    out_length = (length + stride - 1) // stride
+    return [
+        ConvLayerShape(
+            name=f"{name}.expand",
+            n=batch,
+            c=in_channels,
+            h=1,
+            w=length,
+            k=hidden,
+            r=1,
+            s=1,
+        ),
+        ConvLayerShape(
+            name=f"{name}.depthwise",
+            n=batch,
+            c=hidden,
+            h=1,
+            w=length,
+            k=hidden,
+            r=1,
+            s=kernel_size,
+            stride=stride,
+            groups=hidden,
+        ),
+        ConvLayerShape(
+            name=f"{name}.project",
+            n=batch,
+            c=hidden,
+            h=1,
+            w=out_length,
+            k=out_channels,
+            r=1,
+            s=1,
+        ),
+    ]
+
+
 def conv_layer(
     name: str,
     in_channels: int,

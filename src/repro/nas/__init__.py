@@ -11,6 +11,7 @@ from repro.nas.derive import DerivedArchitecture, derive_architecture
 from repro.nas.flops import FlopsModel
 from repro.nas.operations import (
     CANDIDATE_OPS,
+    CONV1D_CANDIDATE_OPS,
     NUM_CANDIDATE_OPS,
     MBConvOp,
     OpSpec,
@@ -27,6 +28,7 @@ from repro.nas.search_space import (
     SearchableLayerConfig,
     build_cifar_search_space,
     build_imagenet_search_space,
+    build_staged_search_space,
 )
 from repro.nas.supernet import DerivedNetwork, MixedOp, SuperNet
 
@@ -36,6 +38,7 @@ __all__ = [
     "derive_architecture",
     "FlopsModel",
     "CANDIDATE_OPS",
+    "CONV1D_CANDIDATE_OPS",
     "NUM_CANDIDATE_OPS",
     "MBConvOp",
     "OpSpec",
@@ -50,6 +53,7 @@ __all__ = [
     "SearchableLayerConfig",
     "build_cifar_search_space",
     "build_imagenet_search_space",
+    "build_staged_search_space",
     "DerivedNetwork",
     "MixedOp",
     "SuperNet",

@@ -13,24 +13,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
-from repro.nas.operations import op_flops
 from repro.nas.search_space import NASSearchSpace
 
 
 class FlopsModel:
-    """Precomputed per-candidate FLOPs table for a search space."""
+    """Precomputed per-candidate FLOPs table for a search space.
+
+    The per-candidate FLOPs come from the search space's own workload
+    derivation (:meth:`~repro.nas.search_space.NASSearchSpace.op_layers`),
+    so the table is correct for any task geometry — square image stacks and
+    1-D sequence stacks alike.  Fixed layers and candidates are both
+    evaluated at ``batch_size_for_cost`` (historically the candidate table
+    was per-sample while the fixed layers were batch-scaled); because the
+    scale is uniform, :meth:`normalized_expected_flops` — the quantity the
+    FLOPs-penalty baseline optimises — is invariant to the batch setting.
+    """
 
     def __init__(self, search_space: NASSearchSpace) -> None:
         self.search_space = search_space
         table = np.zeros((search_space.num_searchable, search_space.num_ops), dtype=np.float64)
-        for position, layer_cfg in enumerate(search_space.searchable_layers):
-            for op_idx, op in enumerate(search_space.candidate_ops):
-                table[position, op_idx] = op_flops(
-                    op,
-                    in_channels=layer_cfg.nominal_in_channels,
-                    out_channels=layer_cfg.nominal_out_channels,
-                    feature_size=layer_cfg.nominal_feature_size,
-                    stride=layer_cfg.stride,
+        for position in range(search_space.num_searchable):
+            for op_idx in range(search_space.num_ops):
+                table[position, op_idx] = sum(
+                    layer.flops for layer in search_space.op_layers(position, op_idx)
                 )
         self.table = table
         self.fixed_flops = float(sum(layer.flops for layer in search_space.fixed_workload_layers()))

@@ -25,18 +25,27 @@ from repro.autograd.conv import BatchNorm2d, Conv2d
 from repro.autograd.layers import Identity, ReLU, Sequential
 from repro.autograd.module import Module
 from repro.autograd.tensor import Tensor, as_tensor
-from repro.hwmodel.workload import ConvLayerShape, mbconv_layers
+from repro.hwmodel.workload import ConvLayerShape, mbconv1d_layers, mbconv_layers
 from repro.utils.seeding import as_rng
 
 
 @dataclass(frozen=True)
 class OpSpec:
-    """Description of one candidate operation."""
+    """Description of one candidate operation.
+
+    ``kind`` selects both the trainable-module family and the workload
+    derivation: ``"mbconv"`` is the square 2-D inverted-residual block of the
+    paper, ``"conv1d"`` is its 1-D counterpart (kernels of shape ``(1, k)``
+    over sequence-shaped ``(N, C, 1, L)`` activations, contributing
+    non-square :class:`~repro.hwmodel.workload.ConvLayerShape` layers to the
+    hardware cost model).
+    """
 
     name: str
     kernel_size: int
     expansion: int
     is_zero: bool = False
+    kind: str = "mbconv"
 
     def __str__(self) -> str:
         return self.name
@@ -54,6 +63,18 @@ CANDIDATE_OPS: Tuple[OpSpec, ...] = (
 )
 
 NUM_CANDIDATE_OPS = len(CANDIDATE_OPS)
+
+#: 1-D candidate operations used by sequence tasks: MBConv-style blocks whose
+#: depthwise convolution slides a ``(1, k)`` kernel along the sequence axis.
+CONV1D_CANDIDATE_OPS: Tuple[OpSpec, ...] = (
+    OpSpec("conv1d3_e3", kernel_size=3, expansion=3, kind="conv1d"),
+    OpSpec("conv1d3_e6", kernel_size=3, expansion=6, kind="conv1d"),
+    OpSpec("conv1d5_e3", kernel_size=5, expansion=3, kind="conv1d"),
+    OpSpec("conv1d5_e6", kernel_size=5, expansion=6, kind="conv1d"),
+    OpSpec("conv1d7_e3", kernel_size=7, expansion=3, kind="conv1d"),
+    OpSpec("conv1d7_e6", kernel_size=7, expansion=6, kind="conv1d"),
+    OpSpec("zero", kernel_size=0, expansion=0, is_zero=True, kind="conv1d"),
+)
 
 
 def op_index(name: str) -> int:
@@ -82,13 +103,18 @@ class ZeroOp(Module):
 
 
 class MBConvOp(Module):
-    """Inverted-residual (MobileNetV2) block: expand -> depthwise -> project."""
+    """Inverted-residual (MobileNetV2) block: expand -> depthwise -> project.
+
+    ``kernel_size`` may be an int (square 2-D depthwise kernel, the paper's
+    MBConv) or an ``(kh, kw)`` tuple — ``(1, k)`` gives the 1-D variant used
+    by sequence tasks.
+    """
 
     def __init__(
         self,
         in_channels: int,
         out_channels: int,
-        kernel_size: int,
+        kernel_size: Union[int, Tuple[int, int]],
         expansion: int,
         stride: int = 1,
         rng: Optional[Union[int, np.random.Generator]] = None,
@@ -100,7 +126,11 @@ class MBConvOp(Module):
         self.out_channels = out_channels
         self.stride = stride
         self.use_residual = stride == 1 and in_channels == out_channels
-        padding = kernel_size // 2
+        if isinstance(kernel_size, tuple):
+            padding: Union[int, Tuple[int, int]] = (kernel_size[0] // 2, kernel_size[1] // 2)
+        else:
+            padding = kernel_size // 2
+        self.expansion = expansion
         self.expand = Sequential(
             Conv2d(in_channels, hidden, 1, bias=False, rng=generator),
             BatchNorm2d(hidden),
@@ -165,13 +195,22 @@ def build_op_module(
     stride: int = 1,
     rng: Optional[Union[int, np.random.Generator]] = None,
 ) -> Module:
-    """Instantiate the trainable module for candidate ``op``."""
+    """Instantiate the trainable module for candidate ``op``.
+
+    Dispatches on ``op.kind``: 2-D MBConv blocks use a square kernel, 1-D
+    blocks a ``(1, k)`` kernel over sequence-shaped activations.
+    """
     if op.is_zero:
         return ZeroOp(in_channels, out_channels, stride)
+    kernel: Union[int, Tuple[int, int]] = op.kernel_size
+    if op.kind == "conv1d":
+        kernel = (1, op.kernel_size)
+    elif op.kind != "mbconv":
+        raise ValueError(f"unknown operation kind {op.kind!r}")
     return MBConvOp(
         in_channels=in_channels,
         out_channels=out_channels,
-        kernel_size=op.kernel_size,
+        kernel_size=kernel,
         expansion=op.expansion,
         stride=stride,
         rng=rng,
@@ -189,12 +228,27 @@ def op_workload_layers(
 ) -> List[ConvLayerShape]:
     """Return the convolution layers ``op`` contributes to the hardware workload.
 
-    ``Zero`` contributes nothing (the layer disappears), any MBConv candidate
+    ``Zero`` contributes nothing (the layer disappears); any MBConv candidate
     contributes its expansion / depthwise / projection triplet at the nominal
-    full-size dimensions.
+    full-size dimensions.  ``conv1d``-kind candidates derive non-square
+    layers (height 1, ``(1, k)`` kernels) so sequence workloads exercise the
+    cost model off the square-feature-map diagonal.
     """
     if op.is_zero:
         return []
+    if op.kind == "conv1d":
+        return mbconv1d_layers(
+            name=layer_name,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            length=feature_size,
+            kernel_size=op.kernel_size,
+            expansion=op.expansion,
+            stride=stride,
+            batch=batch,
+        )
+    if op.kind != "mbconv":
+        raise ValueError(f"unknown operation kind {op.kind!r}")
     return mbconv_layers(
         name=layer_name,
         in_channels=in_channels,

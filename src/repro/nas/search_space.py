@@ -62,7 +62,21 @@ class FixedLayerConfig:
 
 @dataclass
 class NASSearchSpace:
-    """The architecture space A: fixed stem/head plus searchable middle layers."""
+    """The architecture space A: fixed stem/head plus searchable middle layers.
+
+    Task workloads (:mod:`repro.tasks`) parameterise the space beyond the
+    paper's CIFAR/ImageNet stacks:
+
+    * ``geometry`` — ``"2d"`` (square feature maps, the default) or ``"1d"``
+      (sequence-shaped ``(N, C, 1, L)`` activations whose fixed layers use
+      ``(1, k)`` kernels);
+    * ``branch_layers`` — extra fixed convolution branches after the head
+      (e.g. a detection task's class/box branches), contributing to the
+      hardware workload and mirrored by the task head's trainable module;
+    * ``task_head`` — the :class:`~repro.tasks.heads.TaskHead` owning the
+      output module and the loss/metric computation (``None`` means the
+      historical classification head).
+    """
 
     name: str
     stem: FixedLayerConfig
@@ -71,6 +85,23 @@ class NASSearchSpace:
     num_classes: int
     candidate_ops: Tuple[OpSpec, ...] = CANDIDATE_OPS
     batch_size_for_cost: int = 1
+    geometry: str = "2d"
+    branch_layers: Tuple[FixedLayerConfig, ...] = ()
+    task_head: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.geometry not in ("2d", "1d"):
+            raise ValueError(f"unknown geometry {self.geometry!r}; expected '2d' or '1d'")
+        self.branch_layers = tuple(self.branch_layers)
+
+    @property
+    def output_head(self):
+        """The task head (defaults to the classification head)."""
+        if self.task_head is None:
+            from repro.tasks.heads import resolve_head
+
+            self.task_head = resolve_head(None)
+        return self.task_head
 
     # ------------------------------------------------------------------
     # Basic shape facts
@@ -144,31 +175,35 @@ class NASSearchSpace:
     # ------------------------------------------------------------------
     # Hardware workload construction (nominal dimensions)
     # ------------------------------------------------------------------
+    def _fixed_layer_shape(self, cfg: FixedLayerConfig) -> ConvLayerShape:
+        """Nominal-dimension workload layer of one fixed convolution.
+
+        For the 1-D geometry the feature map has height 1 and the kernel is
+        ``(1, k)``; the square 2-D form is byte-for-byte the historical one.
+        """
+        one_dimensional = self.geometry == "1d"
+        return ConvLayerShape(
+            name=f"{self.name}.{cfg.name}",
+            n=self.batch_size_for_cost,
+            c=cfg.nominal_in_channels,
+            h=1 if one_dimensional else cfg.nominal_feature_size,
+            w=cfg.nominal_feature_size,
+            k=cfg.nominal_out_channels,
+            r=1 if one_dimensional else cfg.kernel_size,
+            s=cfg.kernel_size,
+            stride=cfg.stride,
+        )
+
     def fixed_workload_layers(self) -> List[ConvLayerShape]:
-        """Workload contribution of the stem and head (always present)."""
-        stem_layer = ConvLayerShape(
-            name=f"{self.name}.stem",
-            n=self.batch_size_for_cost,
-            c=self.stem.nominal_in_channels,
-            h=self.stem.nominal_feature_size,
-            w=self.stem.nominal_feature_size,
-            k=self.stem.nominal_out_channels,
-            r=self.stem.kernel_size,
-            s=self.stem.kernel_size,
-            stride=self.stem.stride,
-        )
-        head_layer = ConvLayerShape(
-            name=f"{self.name}.head",
-            n=self.batch_size_for_cost,
-            c=self.head.nominal_in_channels,
-            h=self.head.nominal_feature_size,
-            w=self.head.nominal_feature_size,
-            k=self.head.nominal_out_channels,
-            r=self.head.kernel_size,
-            s=self.head.kernel_size,
-            stride=self.head.stride,
-        )
-        return [stem_layer, head_layer]
+        """Workload contribution of the always-present fixed layers.
+
+        The stem comes first, the head second, followed by any extra branch
+        layers the task declares (e.g. detection class/box branches) — the
+        cost tiers accumulate every entry, so branch convolutions are costed
+        like any other layer.
+        """
+        fixed = [self.stem, self.head, *self.branch_layers]
+        return [self._fixed_layer_shape(cfg) for cfg in fixed]
 
     def op_layers(self, position: int, op: Union[int, OpSpec]) -> List[ConvLayerShape]:
         """Workload contribution of choosing ``op`` at searchable ``position``."""
@@ -188,10 +223,11 @@ class NASSearchSpace:
     def build_workload(self, op_indices: Sequence[int]) -> NetworkWorkload:
         """Assemble the full hardware workload of a discrete architecture."""
         indices = self.validate_indices(op_indices)
-        layers: List[ConvLayerShape] = [self.fixed_workload_layers()[0]]
+        fixed = self.fixed_workload_layers()
+        layers: List[ConvLayerShape] = [fixed[0]]
         for position, op_idx in enumerate(indices):
             layers.extend(self.op_layers(position, int(op_idx)))
-        layers.append(self.fixed_workload_layers()[1])
+        layers.extend(fixed[1:])
         return NetworkWorkload(name=f"{self.name}.arch", layers=layers)
 
     def architecture_flops(self, op_indices: Sequence[int]) -> int:
@@ -209,20 +245,26 @@ def _channel_schedule(base_channels: int, num_stages: int, multiplier: float = 1
     return channels
 
 
-def build_cifar_search_space(
-    num_classes: int = 10,
-    nominal_resolution: int = 32,
-    nominal_base_channels: int = 32,
-    trainable_resolution: int = 8,
-    trainable_base_channels: int = 8,
+def build_staged_search_space(
+    *,
+    name: str,
+    num_classes: int,
+    stem_in_channels: int,
+    nominal_resolution: int,
+    nominal_base_channels: int,
+    trainable_resolution: int,
+    trainable_base_channels: int,
     num_searchable: int = 9,
-    name: str = "proxyless_cifar",
+    candidate_ops: Tuple[OpSpec, ...] = CANDIDATE_OPS,
+    geometry: str = "2d",
 ) -> NASSearchSpace:
-    """Build the CIFAR-10 search space used in Table 2.
+    """Build the shared three-stage stack every built-in task uses.
 
-    Nine searchable layers arranged in three stages; channel count rises at
-    each stage boundary and the first layer of each stage (after the first)
-    downsamples with stride 2.
+    ``num_searchable`` positions arranged in three stages; channel count
+    rises at each stage boundary and the first layer of each stage (after
+    the first) downsamples with stride 2.  Image tasks consume it square
+    (``geometry="2d"``), sequence tasks with ``geometry="1d"`` where
+    "resolution" is the sequence length.
     """
     if num_searchable % 3 != 0:
         raise ValueError("num_searchable must be a multiple of 3 (three stages)")
@@ -232,10 +274,10 @@ def build_cifar_search_space(
 
     stem = FixedLayerConfig(
         name="stem",
-        nominal_in_channels=3,
+        nominal_in_channels=stem_in_channels,
         nominal_out_channels=nominal_channels[0],
         nominal_feature_size=nominal_resolution,
-        trainable_in_channels=3,
+        trainable_in_channels=stem_in_channels,
         trainable_out_channels=trainable_channels[0],
         trainable_feature_size=trainable_resolution,
         kernel_size=3,
@@ -289,6 +331,30 @@ def build_cifar_search_space(
         searchable_layers=searchable,
         head=head,
         num_classes=num_classes,
+        candidate_ops=candidate_ops,
+        geometry=geometry,
+    )
+
+
+def build_cifar_search_space(
+    num_classes: int = 10,
+    nominal_resolution: int = 32,
+    nominal_base_channels: int = 32,
+    trainable_resolution: int = 8,
+    trainable_base_channels: int = 8,
+    num_searchable: int = 9,
+    name: str = "proxyless_cifar",
+) -> NASSearchSpace:
+    """Build the CIFAR-10 search space used in Table 2."""
+    return build_staged_search_space(
+        name=name,
+        num_classes=num_classes,
+        stem_in_channels=3,
+        nominal_resolution=nominal_resolution,
+        nominal_base_channels=nominal_base_channels,
+        trainable_resolution=trainable_resolution,
+        trainable_base_channels=trainable_base_channels,
+        num_searchable=num_searchable,
     )
 
 

@@ -10,26 +10,108 @@ the forward computation, gradients flow back into the architecture logits.
 The supernet is built at the search space's *trainable* dimensions (reduced
 width and resolution) so CPU training is feasible; the hardware cost is
 always computed at the nominal dimensions elsewhere.
+
+Two execution paths serve :meth:`MixedOp.forward`:
+
+* **hard gates** (one non-zero entry, the searchers' Gumbel ``hard=True``
+  sampling) run exactly one candidate — byte-for-byte the historical loop;
+* **soft gates** (several non-zero entries) collapse the per-candidate loop
+  into fused batched einsums: candidates sharing an expansion ratio run
+  their pointwise expand/project convolutions and batch norms once over
+  concatenated channels (only the depthwise stage, whose kernel sizes
+  differ, runs per candidate on its channel slice), and the gate weighting
+  becomes a single broadcasted multiply + sum over the candidate axis.
+  Benchmarked as ``supernet_step`` in ``benchmarks/run_bench.py``.
+
+The network's output end is owned by the search space's
+:class:`~repro.tasks.heads.TaskHead` (classification by default, multi-branch
+detection, ...), and the stem/head convolutions follow the space's geometry
+(``"2d"`` square images or ``"1d"`` sequences).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.conv import BatchNorm2d, Conv2d, GlobalAvgPool2d
-from repro.autograd.layers import Linear, ReLU, Sequential
+from repro.autograd.conv import BatchNorm2d, Conv2d, batch_moments, batchnorm_affine, conv2d
+from repro.autograd.layers import ReLU, Sequential
 from repro.autograd.module import Module
-from repro.autograd.tensor import Tensor, as_tensor
-from repro.nas.operations import build_op_module
-from repro.nas.search_space import NASSearchSpace, SearchableLayerConfig
+from repro.autograd.tensor import Tensor, as_tensor, concatenate
+from repro.nas.operations import MBConvOp, SkipConnection, build_op_module
+from repro.nas.search_space import FixedLayerConfig, NASSearchSpace, SearchableLayerConfig
 from repro.utils.seeding import as_rng
-from repro.nas.operations import SkipConnection
+
+
+def _fixed_conv(cfg: FixedLayerConfig, geometry: str, rng) -> Sequential:
+    """Conv + BN + ReLU of a fixed (stem/head) layer at trainable dimensions."""
+    kernel: Union[int, Tuple[int, int]] = cfg.kernel_size
+    padding: Union[int, Tuple[int, int]] = cfg.kernel_size // 2
+    if geometry == "1d":
+        kernel = (1, cfg.kernel_size)
+        padding = (0, cfg.kernel_size // 2)
+    return Sequential(
+        Conv2d(
+            cfg.trainable_in_channels,
+            cfg.trainable_out_channels,
+            kernel,
+            stride=cfg.stride,
+            padding=padding,
+            bias=False,
+            rng=rng,
+        ),
+        BatchNorm2d(cfg.trainable_out_channels),
+        ReLU(),
+    )
+
+
+def _fused_batchnorm(x: Tensor, norms: Sequence[BatchNorm2d]) -> Tensor:
+    """Apply several BatchNorm2d layers to their concatenated channel slices.
+
+    Batch statistics are per channel, so normalising the concatenation with
+    concatenated affine parameters matches applying each norm to its own
+    slice; in training mode every layer's running buffers are updated with
+    its slice of the batch statistics, exactly as the unfused path would.
+    The statistics and normalisation math are the shared
+    :func:`~repro.autograd.conv.batch_moments` /
+    :func:`~repro.autograd.conv.batchnorm_affine` helpers that
+    ``BatchNorm2d.forward`` itself uses, so the two paths cannot drift.
+    """
+    first = norms[0]
+    if any(norm.eps != first.eps or norm.training != first.training for norm in norms[1:]):
+        raise ValueError("fused batch norms must share eps and training mode")
+    if first.training:
+        mean, var = batch_moments(x, (0, 2, 3))
+        flat_mean = mean.data.reshape(-1)
+        flat_var = var.data.reshape(-1)
+        offset = 0
+        for norm in norms:
+            count = norm.num_features
+            norm.update_running(
+                flat_mean[offset : offset + count], flat_var[offset : offset + count]
+            )
+            offset += count
+    else:
+        mean = Tensor(
+            np.concatenate([norm._buffers["running_mean"] for norm in norms]).reshape(1, -1, 1, 1)
+        )
+        var = Tensor(
+            np.concatenate([norm._buffers["running_var"] for norm in norms]).reshape(1, -1, 1, 1)
+        )
+    channels = x.shape[1]
+    scale = concatenate([norm.weight for norm in norms], axis=0).reshape(1, channels, 1, 1)
+    shift = concatenate([norm.bias for norm in norms], axis=0).reshape(1, channels, 1, 1)
+    return batchnorm_affine(x, mean, var, scale, shift, first.eps)
 
 
 class MixedOp(Module):
     """All candidate operations of one searchable position, gated by weights."""
+
+    #: Collapse multi-candidate (soft-gate) forwards into fused einsums.
+    #: Hard one-hot gates never take the fused path, so searcher
+    #: trajectories are unaffected by this switch.
+    fuse_soft_gates: bool = True
 
     def __init__(
         self,
@@ -41,6 +123,7 @@ class MixedOp(Module):
         generator = as_rng(rng)
         self.layer_cfg = layer_cfg
         self.num_ops = search_space.num_ops
+        self.op_specs = tuple(search_space.candidate_ops)
         self.candidates = Sequential(
             *[
                 build_op_module(
@@ -72,29 +155,105 @@ class MixedOp(Module):
             one-hot, so only one candidate contributes in the forward pass;
             candidates whose gate is exactly zero are skipped entirely to
             save compute, but the gate multiplication keeps the architecture
-            logits on the gradient path.
+            logits on the gradient path.  When several gates are active (soft
+            relaxations) the candidates run through the fused batched-einsum
+            path instead of a per-candidate Python loop.
         """
         x = as_tensor(x)
-        output: Optional[Tensor] = None
         gate_values = gates.data.reshape(-1)
-        for op_index in range(self.num_ops):
-            if gate_values[op_index] == 0.0 and not gates.requires_grad:
-                continue
-            if gate_values[op_index] == 0.0:
-                # Hard one-hot sample: skip unused candidates (their gradient
-                # contribution is zero anyway because the gate multiplies the output).
-                continue
-            candidate_out = self.candidates[op_index](x)
-            gated = candidate_out * gates[op_index]
-            output = gated if output is None else output + gated
+        active = [index for index in range(self.num_ops) if gate_values[index] != 0.0]
+        fusable = [
+            index
+            for index in active
+            if not self.op_specs[index].is_zero
+            and isinstance(self.candidates[index], MBConvOp)
+        ]
+        if self.fuse_soft_gates and len(fusable) > 1:
+            output: Optional[Tensor] = self._forward_fused(x, gates, fusable)
+        else:
+            output = None
+            for op_index in active:
+                # Hard one-hot sample: unused candidates are skipped (their
+                # gradient contribution is zero anyway because the gate
+                # multiplies the output).
+                candidate_out = self.candidates[op_index](x)
+                gated = candidate_out * gates[op_index]
+                output = gated if output is None else output + gated
         skip_out = self.skip(x)
         if output is None:
             return skip_out
         return output + skip_out
 
+    # ------------------------------------------------------------------
+    # Fused multi-candidate path (soft gates)
+    # ------------------------------------------------------------------
+    def _forward_fused(self, x: Tensor, gates: Tensor, indices: List[int]) -> Tensor:
+        """Evaluate several MBConv candidates as fused gated batched einsums.
+
+        Candidates are grouped by ``(kind, expansion)`` — within a group the
+        expand and project convolutions have identical shapes, so they (and
+        every batch norm) run once over concatenated channels in one batched
+        einsum each; only the depthwise convolutions, whose kernel sizes
+        differ, run per candidate on their channel slice.  The group result
+        of shape ``(N, G, C_out, H', W')`` is reduced with the gate vector in
+        a single broadcasted multiply + sum, keeping the architecture logits
+        on the gradient path.
+        """
+        groups: Dict[Tuple[str, int], List[int]] = {}
+        for index in indices:
+            op = self.op_specs[index]
+            groups.setdefault((op.kind, op.expansion), []).append(index)
+
+        n, c, h, w = x.shape
+        output: Optional[Tensor] = None
+        for group_indices in groups.values():
+            modules: List[MBConvOp] = [self.candidates[i] for i in group_indices]
+            group_size = len(modules)
+            first = modules[0]
+            hidden = first.expand[0].out_channels
+
+            # Pointwise expansion: in -> G * hidden in one conv.
+            expand_weight = concatenate([m.expand[0].weight for m in modules], axis=0)
+            out = conv2d(x, expand_weight)
+            out = _fused_batchnorm(out, [m.expand[1] for m in modules]).relu()
+
+            # Depthwise: kernel footprints differ per candidate, so each runs
+            # natively on its channel slice of the fused hidden activation.
+            depthwise_outs = []
+            for position, module in enumerate(modules):
+                conv = module.depthwise[0]
+                piece = out[:, position * hidden : (position + 1) * hidden]
+                depthwise_outs.append(
+                    conv2d(
+                        piece,
+                        conv.weight,
+                        stride=conv.stride,
+                        padding=conv.padding,
+                        groups=hidden,
+                    )
+                )
+            out = concatenate(depthwise_outs, axis=1)
+            out = _fused_batchnorm(out, [m.depthwise[1] for m in modules]).relu()
+
+            # Pointwise projection: each candidate's slice maps hidden -> out.
+            project_weight = concatenate([m.project[0].weight for m in modules], axis=0)
+            out = conv2d(out, project_weight, groups=group_size)
+            out = _fused_batchnorm(out, [m.project[1] for m in modules])
+
+            out_channels = first.out_channels
+            _, _, out_h, out_w = out.shape
+            out = out.reshape(n, group_size, out_channels, out_h, out_w)
+            if first.use_residual:
+                out = out + x.reshape(n, 1, c, h, w)
+
+            gate_vector = gates[np.asarray(group_indices, dtype=np.int64)]
+            gated = (out * gate_vector.reshape(1, group_size, 1, 1, 1)).sum(axis=1)
+            output = gated if output is None else output + gated
+        return output
+
 
 class SuperNet(Module):
-    """Stem + gated searchable positions + head + classifier."""
+    """Stem + gated searchable positions + head + task output head."""
 
     def __init__(
         self,
@@ -104,39 +263,13 @@ class SuperNet(Module):
         super().__init__()
         generator = as_rng(rng)
         self.search_space = search_space
-        stem_cfg = search_space.stem
-        self.stem = Sequential(
-            Conv2d(
-                stem_cfg.trainable_in_channels,
-                stem_cfg.trainable_out_channels,
-                stem_cfg.kernel_size,
-                stride=stem_cfg.stride,
-                padding=stem_cfg.kernel_size // 2,
-                bias=False,
-                rng=generator,
-            ),
-            BatchNorm2d(stem_cfg.trainable_out_channels),
-            ReLU(),
-        )
+        self.task_head = search_space.output_head
+        self.stem = _fixed_conv(search_space.stem, search_space.geometry, generator)
         self.mixed_ops = Sequential(
             *[MixedOp(layer_cfg, search_space, rng=generator) for layer_cfg in search_space.searchable_layers]
         )
-        head_cfg = search_space.head
-        self.head = Sequential(
-            Conv2d(
-                head_cfg.trainable_in_channels,
-                head_cfg.trainable_out_channels,
-                head_cfg.kernel_size,
-                stride=head_cfg.stride,
-                padding=head_cfg.kernel_size // 2,
-                bias=False,
-                rng=generator,
-            ),
-            BatchNorm2d(head_cfg.trainable_out_channels),
-            ReLU(),
-        )
-        self.pool = GlobalAvgPool2d()
-        self.classifier = Linear(head_cfg.trainable_out_channels, search_space.num_classes, rng=generator)
+        self.head = _fixed_conv(search_space.head, search_space.geometry, generator)
+        self.output_module = self.task_head.build_module(search_space, rng=generator)
 
     def forward(self, x: Tensor, gates: Tensor) -> Tensor:  # noqa: D102
         """Run the supernet under per-position gate vectors of shape (positions, ops)."""
@@ -150,8 +283,7 @@ class SuperNet(Module):
         for position in range(self.search_space.num_searchable):
             out = self.mixed_ops[position](out, gates[position])
         out = self.head(out)
-        out = self.pool(out)
-        return self.classifier(out)
+        return self.output_module(out)
 
     def forward_discrete(self, x: Tensor, op_indices: Sequence[int]) -> Tensor:
         """Run only the chosen candidates (inference of a derived architecture)."""
@@ -181,21 +313,9 @@ class DerivedNetwork(Module):
         super().__init__()
         generator = as_rng(rng)
         self.search_space = search_space
+        self.task_head = search_space.output_head
         self.op_indices = search_space.validate_indices(op_indices)
-        stem_cfg = search_space.stem
-        self.stem = Sequential(
-            Conv2d(
-                stem_cfg.trainable_in_channels,
-                stem_cfg.trainable_out_channels,
-                stem_cfg.kernel_size,
-                stride=stem_cfg.stride,
-                padding=stem_cfg.kernel_size // 2,
-                bias=False,
-                rng=generator,
-            ),
-            BatchNorm2d(stem_cfg.trainable_out_channels),
-            ReLU(),
-        )
+        self.stem = _fixed_conv(search_space.stem, search_space.geometry, generator)
         blocks: List[Module] = []
         for position, layer_cfg in enumerate(search_space.searchable_layers):
             op = search_space.candidate_ops[int(self.op_indices[position])]
@@ -218,29 +338,15 @@ class DerivedNetwork(Module):
                 )
             )
         self.blocks = Sequential(*blocks)
-        head_cfg = search_space.head
-        self.head = Sequential(
-            Conv2d(
-                head_cfg.trainable_in_channels,
-                head_cfg.trainable_out_channels,
-                head_cfg.kernel_size,
-                stride=head_cfg.stride,
-                padding=head_cfg.kernel_size // 2,
-                bias=False,
-                rng=generator,
-            ),
-            BatchNorm2d(head_cfg.trainable_out_channels),
-            ReLU(),
-        )
-        self.pool = GlobalAvgPool2d()
-        self.classifier = Linear(head_cfg.trainable_out_channels, search_space.num_classes, rng=generator)
+        self.head = _fixed_conv(search_space.head, search_space.geometry, generator)
+        self.output_module = self.task_head.build_module(search_space, rng=generator)
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         out = self.stem(as_tensor(x))
         for block in self.blocks:
             out = block(out)
         out = self.head(out)
-        return self.classifier(self.pool(out))
+        return self.output_module(out)
 
 
 class _DerivedBlock(Module):

@@ -1,0 +1,30 @@
+"""Pluggable task workloads: the network/task side of the co-exploration.
+
+The task-side twin of :mod:`repro.hwmodel.backends`: a
+:class:`~repro.tasks.base.TaskWorkload` declares a scenario's dataset
+builder, NAS stack geometry + candidate-operation set, loss/metric head
+(:mod:`repro.tasks.heads`) and per-position hardware-workload derivation;
+the registry (:mod:`repro.tasks.registry`) makes scenarios addressable by
+name from :class:`~repro.experiments.config.ExperimentConfig`, ``--set
+task=...`` and ``sweep --tasks``.
+
+Built-ins: ``cifar`` and ``imagenet`` (bit-identical to the historical
+pipeline — the refactor's oracle), ``detection`` (multi-head boxes+classes)
+and ``seq1d`` (1-D conv sequence classification).  ``docs/tasks.md`` walks
+through adding a fifth.
+"""
+
+from repro.tasks.base import TaskWorkload
+from repro.tasks.heads import ClassificationHead, DetectionHead, TaskHead, resolve_head
+from repro.tasks.registry import available_tasks, get_task, register_task
+
+__all__ = [
+    "TaskWorkload",
+    "TaskHead",
+    "ClassificationHead",
+    "DetectionHead",
+    "resolve_head",
+    "available_tasks",
+    "get_task",
+    "register_task",
+]

@@ -1,0 +1,65 @@
+"""The pluggable ``TaskWorkload`` protocol.
+
+The hardware side of the repository became pluggable in the backend era
+(:mod:`repro.hwmodel.backends`); this module is the task-side twin.  A task —
+what network stack is searched over, what data it trains on, how its outputs
+are scored, and what convolution workload each candidate contributes to the
+hardware cost model — is described by one :class:`TaskWorkload`:
+
+* :meth:`TaskWorkload.build_search_space` returns the architecture space
+  ``A`` for an experiment config: the NAS stack geometry (stem, searchable
+  positions, head, optional extra branch layers), the candidate-operation
+  set, and the task's :class:`~repro.tasks.heads.TaskHead` (loss / metric
+  head).  The per-position :class:`~repro.hwmodel.workload.ConvLayerShape`
+  workload derivation rides along on the returned space (``op_layers`` /
+  ``fixed_workload_layers``), which is all the cost tiers ever consume.
+* :meth:`TaskWorkload.build_dataset` generates the task's synthetic dataset
+  from the experiment config and a dedicated RNG stream.
+
+Everything above the task — :class:`~repro.hwmodel.cost_model.CostTable`,
+the evaluator, every searcher, the runner and the CLI — works purely in
+terms of the returned objects, so registering a new task (see
+:mod:`repro.tasks.registry` and ``docs/tasks.md``) is enough to open a new
+scenario end to end: ``ExperimentConfig(task="mine")`` just works.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar, Optional, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.data.synthetic import ImageClassificationDataset
+    from repro.nas.search_space import NASSearchSpace
+
+
+class TaskWorkload(abc.ABC):
+    """One task scenario exposed through the shared experiment interface.
+
+    Subclasses set :attr:`name` and :attr:`default_num_classes` and implement
+    the two builders.  ``config`` is an
+    :class:`~repro.experiments.config.ExperimentConfig` (typed loosely here
+    so the task layer stays below the orchestration layer in the import
+    graph); builders must be deterministic functions of ``config`` and the
+    passed RNG — the factory's bit-identical resume guarantee depends on it.
+    """
+
+    #: Registry key of the task (also the ``ExperimentConfig.task`` value).
+    name: ClassVar[str]
+    #: ``num_classes`` used when the config leaves it at 0.
+    default_num_classes: ClassVar[int]
+
+    @abc.abstractmethod
+    def build_search_space(self, config) -> "NASSearchSpace":
+        """The architecture space A (stack geometry, ops, task head) for ``config``."""
+
+    @abc.abstractmethod
+    def build_dataset(
+        self, config, rng: Optional[Union[int, np.random.Generator]] = None
+    ) -> "ImageClassificationDataset":
+        """The task's full synthetic dataset (the factory splits train/val)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,74 @@
+"""Built-in classification tasks: the paper's CIFAR-10 / ImageNet proxies.
+
+These two tasks are the refactor's oracle: every component they return is
+built with exactly the historical calls (same builders, same RNG streams,
+same layer labels), so runs resolved through the task registry are
+bit-identical to the pre-task-layer pipeline at every tier — asserted by
+``tests/test_tasks.py`` against golden pre-refactor results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data import make_cifar_like, make_imagenet_like
+from repro.data.synthetic import ImageClassificationDataset
+from repro.nas import build_cifar_search_space, build_imagenet_search_space
+from repro.nas.search_space import NASSearchSpace
+from repro.tasks.base import TaskWorkload
+from repro.tasks.registry import _register_builtin
+
+
+class CifarTask(TaskWorkload):
+    """The Table-2 CIFAR-10 proxy: 32x32 images, ten classes."""
+
+    name = "cifar"
+    default_num_classes = 10
+
+    def build_search_space(self, config) -> NASSearchSpace:
+        return build_cifar_search_space(
+            num_classes=config.effective_num_classes,
+            num_searchable=config.num_searchable,
+            trainable_resolution=config.trainable_resolution,
+            trainable_base_channels=config.trainable_base_channels,
+        )
+
+    def build_dataset(
+        self, config, rng: Optional[Union[int, np.random.Generator]] = None
+    ) -> ImageClassificationDataset:
+        return make_cifar_like(
+            num_samples=config.image_samples,
+            resolution=config.resolution,
+            rng=rng,
+        )
+
+
+class ImagenetTask(TaskWorkload):
+    """The Table-4 ImageNet-scale proxy: more classes, larger channel schedule."""
+
+    name = "imagenet"
+    default_num_classes = 20
+
+    def build_search_space(self, config) -> NASSearchSpace:
+        return build_imagenet_search_space(
+            num_classes=config.effective_num_classes,
+            num_searchable=config.num_searchable,
+            trainable_resolution=config.trainable_resolution,
+            trainable_base_channels=config.trainable_base_channels,
+        )
+
+    def build_dataset(
+        self, config, rng: Optional[Union[int, np.random.Generator]] = None
+    ) -> ImageClassificationDataset:
+        return make_imagenet_like(
+            num_samples=config.image_samples,
+            resolution=config.resolution,
+            num_classes=config.effective_num_classes,
+            rng=rng,
+        )
+
+
+_register_builtin(CifarTask())
+_register_builtin(ImagenetTask())

@@ -1,0 +1,89 @@
+"""Built-in detection task: single-object boxes + classes, multi-branch head.
+
+The backbone is the same MBConv stack as the classification tasks, but the
+search space grows two extra fixed branch convolutions after the head — a
+class branch and a box branch — that are costed by the hardware model like
+any other layer and mirrored by the trainable
+:class:`~repro.tasks.heads.DetectionHead` module.  Supervision is the class
+label plus a normalised ``(cy, cx, h, w)`` box regressed through a sigmoid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data import make_detection_dataset
+from repro.data.detection import DetectionDataset
+from repro.nas import build_cifar_search_space
+from repro.nas.search_space import FixedLayerConfig, NASSearchSpace
+from repro.tasks.base import TaskWorkload
+from repro.tasks.heads import DetectionHead
+from repro.tasks.registry import _register_builtin
+
+
+def _branch_config(name: str, head: FixedLayerConfig) -> FixedLayerConfig:
+    """A 1x1 branch convolution reading the head's feature map."""
+    return FixedLayerConfig(
+        name=name,
+        nominal_in_channels=head.nominal_out_channels,
+        nominal_out_channels=head.nominal_out_channels,
+        nominal_feature_size=head.nominal_feature_size,
+        trainable_in_channels=head.trainable_out_channels,
+        trainable_out_channels=head.trainable_out_channels,
+        trainable_feature_size=head.trainable_feature_size,
+        kernel_size=1,
+        stride=1,
+    )
+
+
+def build_detection_search_space(
+    num_classes: int = 5,
+    num_searchable: int = 9,
+    trainable_resolution: int = 8,
+    trainable_base_channels: int = 8,
+    name: str = "mbconv_detection",
+) -> NASSearchSpace:
+    """The detection space: the CIFAR MBConv stack plus class/box branches."""
+    space = build_cifar_search_space(
+        num_classes=num_classes,
+        num_searchable=num_searchable,
+        trainable_resolution=trainable_resolution,
+        trainable_base_channels=trainable_base_channels,
+        name=name,
+    )
+    space.branch_layers = (
+        _branch_config("cls_branch", space.head),
+        _branch_config("box_branch", space.head),
+    )
+    space.task_head = DetectionHead(num_classes=num_classes)
+    return space
+
+
+class DetectionTask(TaskWorkload):
+    """Single-object detection with a searchable backbone."""
+
+    name = "detection"
+    default_num_classes = 5
+
+    def build_search_space(self, config) -> NASSearchSpace:
+        return build_detection_search_space(
+            num_classes=config.effective_num_classes,
+            num_searchable=config.num_searchable,
+            trainable_resolution=config.trainable_resolution,
+            trainable_base_channels=config.trainable_base_channels,
+        )
+
+    def build_dataset(
+        self, config, rng: Optional[Union[int, np.random.Generator]] = None
+    ) -> DetectionDataset:
+        return make_detection_dataset(
+            num_samples=config.image_samples,
+            num_classes=config.effective_num_classes,
+            resolution=config.resolution,
+            rng=rng,
+        )
+
+
+_register_builtin(DetectionTask())

@@ -1,0 +1,194 @@
+"""Task output heads: the loss / metric end of a search space.
+
+A :class:`TaskHead` is the task-side analogue of a hardware backend's cost
+kernel: it owns everything that happens *after* the shared convolutional
+trunk of a network — how the trainable output module is built, how a batch of
+network outputs is scored against the loader's targets, and how a scalar
+"accuracy" is extracted for the paper-style result tables.
+
+Two heads ship with the repository:
+
+* :class:`ClassificationHead` — global average pooling plus a linear
+  classifier, scored with label-smoothed cross-entropy.  This is exactly the
+  historical CIFAR / ImageNet pipeline (same RNG consumption, same float
+  path), so classification runs through the head are bit-identical to the
+  pre-task-layer implementation.
+* :class:`DetectionHead` — a multi-branch head (a class branch and a box
+  branch, each with its own convolution declared in the search space), scored
+  with cross-entropy plus a box-regression MSE.
+
+Heads live below :mod:`repro.nas` and :mod:`repro.core` in the import graph
+(they depend only on the autograd engine), so both the supernet builders and
+the training loops can use them without cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd.conv import BatchNorm2d, Conv2d, GlobalAvgPool2d
+from repro.autograd.functional import cross_entropy, mse_loss
+from repro.autograd.layers import Linear, ReLU, Sequential
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor, as_tensor, concatenate
+
+
+class TaskHead(abc.ABC):
+    """Builds the output module of a network and scores its outputs.
+
+    ``targets`` below is whatever the task's dataset yields as the second
+    element of a loader batch — a plain integer label array for
+    classification, a richer record (labels + boxes) for detection.
+    """
+
+    @abc.abstractmethod
+    def build_module(self, search_space, rng=None) -> Module:
+        """The trainable output module applied to the trunk's feature map."""
+
+    @abc.abstractmethod
+    def loss(self, outputs: Tensor, targets, label_smoothing: float = 0.0) -> Tensor:
+        """Differentiable task loss of ``outputs`` against ``targets``."""
+
+    @abc.abstractmethod
+    def predictions(self, outputs: Union[Tensor, np.ndarray]) -> np.ndarray:
+        """Predicted class labels (the quantity accuracy is measured on)."""
+
+    @abc.abstractmethod
+    def class_labels(self, targets) -> np.ndarray:
+        """Ground-truth class labels extracted from loader targets."""
+
+    def correct_count(self, outputs, targets) -> int:
+        """Number of correctly classified samples in one batch."""
+        predictions = self.predictions(outputs).reshape(-1)
+        labels = np.asarray(self.class_labels(targets), dtype=np.int64).reshape(-1)
+        return int((predictions == labels).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class ClassificationHead(TaskHead):
+    """Pool + linear classifier with label-smoothed cross-entropy.
+
+    Float-for-float the historical pipeline: the module is one
+    ``GlobalAvgPool2d`` (no RNG) followed by one ``Linear`` (one RNG draw
+    pair), and the loss is exactly :func:`repro.autograd.functional.cross_entropy`.
+    """
+
+    def build_module(self, search_space, rng=None) -> Module:
+        return Sequential(
+            GlobalAvgPool2d(),
+            Linear(
+                search_space.head.trainable_out_channels, search_space.num_classes, rng=rng
+            ),
+        )
+
+    def loss(self, outputs: Tensor, targets, label_smoothing: float = 0.0) -> Tensor:
+        return cross_entropy(outputs, targets, label_smoothing=label_smoothing)
+
+    def predictions(self, outputs) -> np.ndarray:
+        scores = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+        return scores.argmax(axis=-1)
+
+    def class_labels(self, targets) -> np.ndarray:
+        return np.asarray(targets, dtype=np.int64)
+
+
+class _BranchedHeadModule(Module):
+    """Parallel output branches over one feature map, concatenated."""
+
+    def __init__(self, *branches: Module) -> None:
+        super().__init__()
+        self.branches = Sequential(*branches)
+
+    def forward(self, x: Tensor) -> Tensor:  # noqa: D102
+        x = as_tensor(x)
+        return concatenate([branch(x) for branch in self.branches], axis=-1)
+
+
+class DetectionHead(TaskHead):
+    """Multi-branch detection head: class logits plus a normalised box.
+
+    The search space declares one :class:`~repro.nas.search_space.FixedLayerConfig`
+    per branch (``search_space.branch_layers``); this head builds the matching
+    trainable branch — convolution, batch norm, ReLU, pooling and a linear
+    projection — for the class branch and the box branch, in that order.  The
+    network output is ``concat(class_logits, box_regression)`` of width
+    ``num_classes + 4``; the box is predicted through a sigmoid in (0, 1)
+    normalised coordinates ``(cy, cx, h, w)``.
+    """
+
+    #: Width of the box regression target (cy, cx, h, w).
+    BOX_DIMS = 4
+
+    def __init__(self, num_classes: int, box_weight: float = 1.0) -> None:
+        if num_classes <= 1:
+            raise ValueError("detection needs at least two classes")
+        if box_weight < 0:
+            raise ValueError("box_weight must be non-negative")
+        self.num_classes = num_classes
+        self.box_weight = box_weight
+
+    def _branch(self, branch_cfg, out_features: int, rng) -> Module:
+        kernel = branch_cfg.kernel_size
+        return Sequential(
+            Conv2d(
+                branch_cfg.trainable_in_channels,
+                branch_cfg.trainable_out_channels,
+                kernel,
+                stride=branch_cfg.stride,
+                padding=kernel // 2,
+                bias=False,
+                rng=rng,
+            ),
+            BatchNorm2d(branch_cfg.trainable_out_channels),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Linear(branch_cfg.trainable_out_channels, out_features, rng=rng),
+        )
+
+    def build_module(self, search_space, rng=None) -> Module:
+        branch_cfgs = search_space.branch_layers
+        if len(branch_cfgs) != 2:
+            raise ValueError(
+                f"DetectionHead expects a (class, box) pair of branch layers, "
+                f"got {len(branch_cfgs)}"
+            )
+        cls_cfg, box_cfg = branch_cfgs
+        return _BranchedHeadModule(
+            self._branch(cls_cfg, self.num_classes, rng),
+            self._branch(box_cfg, self.BOX_DIMS, rng),
+        )
+
+    def split_outputs(self, outputs: Tensor):
+        """Slice the concatenated output into (class logits, box regression)."""
+        return outputs[:, : self.num_classes], outputs[:, self.num_classes :]
+
+    def loss(self, outputs: Tensor, targets, label_smoothing: float = 0.0) -> Tensor:
+        cls_logits, box_raw = self.split_outputs(outputs)
+        classification = cross_entropy(
+            cls_logits, targets.labels, label_smoothing=label_smoothing
+        )
+        box = mse_loss(box_raw.sigmoid(), targets.boxes)
+        return classification + box * self.box_weight
+
+    def predictions(self, outputs) -> np.ndarray:
+        scores = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+        return scores[..., : self.num_classes].argmax(axis=-1)
+
+    def class_labels(self, targets) -> np.ndarray:
+        return np.asarray(targets.labels, dtype=np.int64)
+
+    def predicted_boxes(self, outputs) -> np.ndarray:
+        """Detached (N, 4) normalised box predictions (diagnostics)."""
+        scores = outputs.data if isinstance(outputs, Tensor) else np.asarray(outputs)
+        raw = scores[..., self.num_classes :]
+        return 1.0 / (1.0 + np.exp(-raw))
+
+
+def resolve_head(head: Optional[TaskHead]) -> TaskHead:
+    """``head`` itself, or the default :class:`ClassificationHead`."""
+    return head if head is not None else ClassificationHead()

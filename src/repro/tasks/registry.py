@@ -1,0 +1,85 @@
+"""Task registry: named lookup of every pluggable task workload.
+
+Built-in tasks (``cifar``, ``imagenet``, ``detection``, ``seq1d``) are
+registered lazily on first lookup, mirroring the hardware-backend registry:
+importing :mod:`repro.experiments` never pulls in task modules it does not
+need, and this module has no import-time dependency on the task
+implementations (which themselves import :mod:`repro.nas` and
+:mod:`repro.data`).
+
+Third-party tasks register themselves explicitly::
+
+    from repro.tasks import register_task
+    register_task(MyTask())
+
+after which ``ExperimentConfig(task="mine")``, ``--set task=mine`` and
+``sweep --tasks mine`` accept the new name.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Tuple
+
+from repro.tasks.base import TaskWorkload
+from repro.utils.text import did_you_mean
+
+_REGISTRY: Dict[str, TaskWorkload] = {}
+
+#: Built-in tasks, imported on first use (module import registers them).
+_BUILTIN_MODULES: Dict[str, str] = {
+    "cifar": "repro.tasks.classification",
+    "imagenet": "repro.tasks.classification",
+    "detection": "repro.tasks.detection",
+    "seq1d": "repro.tasks.seq1d",
+}
+
+
+def register_task(task: TaskWorkload, replace: bool = False) -> TaskWorkload:
+    """Register ``task`` under ``task.name``; returns it for chaining."""
+    name = task.name
+    if not name:
+        raise ValueError("task must declare a non-empty name")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"task {name!r} is already registered (pass replace=True to override)")
+    _REGISTRY[name] = task
+    return task
+
+
+def _register_builtin(task: TaskWorkload) -> TaskWorkload:
+    """Register a built-in task, yielding to any earlier explicit registration.
+
+    Built-in modules may register several tasks each (``classification``
+    provides both ``cifar`` and ``imagenet``), and they are imported lazily —
+    possibly *after* a third party replaced one of their names.  A built-in
+    must never clobber, nor conflict with, such an explicit registration, so
+    an already-taken name is simply left alone.
+    """
+    if task.name in _REGISTRY:
+        return _REGISTRY[task.name]
+    return register_task(task)
+
+
+def _ensure_builtin(name: str) -> None:
+    if name not in _REGISTRY and name in _BUILTIN_MODULES:
+        importlib.import_module(_BUILTIN_MODULES[name])
+
+
+def get_task(name: str) -> TaskWorkload:
+    """Look up a task by name; unknown names fail with a close-match hint."""
+    _ensure_builtin(name)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = available_tasks()
+        raise ValueError(
+            f"unknown task {name!r}; expected one of {list(known)}"
+            f"{did_you_mean(name, known)}"
+        ) from None
+
+
+def available_tasks() -> Tuple[str, ...]:
+    """Sorted names of every registered (or registerable built-in) task."""
+    for name in _BUILTIN_MODULES:
+        _ensure_builtin(name)
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,81 @@
+"""Built-in 1-D sequence-classification task.
+
+The stack mirrors the CIFAR geometry — three stages of searchable positions
+with a widening channel schedule and stride-2 stage starts — but every
+activation is a ``(N, C, 1, L)`` sequence, the candidate operations are 1-D
+MBConv blocks (``(1, k)`` depthwise kernels), and the hardware workload
+consists of genuinely non-square :class:`~repro.hwmodel.workload.ConvLayerShape`
+layers (height 1, width ``L``), exercising the cost model off the square
+feature-map diagonal the image tasks live on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data import make_sequence_dataset
+from repro.data.synthetic import ImageClassificationDataset
+from repro.nas.operations import CONV1D_CANDIDATE_OPS
+from repro.nas.search_space import NASSearchSpace, build_staged_search_space
+from repro.tasks.base import TaskWorkload
+from repro.tasks.registry import _register_builtin
+
+#: Input channels of the synthetic sequences (sensor-style multichannel signal).
+SEQ1D_CHANNELS = 4
+
+
+def build_seq1d_search_space(
+    num_classes: int = 6,
+    nominal_length: int = 64,
+    nominal_base_channels: int = 32,
+    trainable_length: int = 8,
+    trainable_base_channels: int = 8,
+    num_searchable: int = 9,
+    name: str = "mbconv1d_seq",
+) -> NASSearchSpace:
+    """Build the 1-D sequence search space: the shared three-stage stack
+    with 1-D candidate operations and sequence geometry ("resolution" is the
+    sequence length)."""
+    return build_staged_search_space(
+        name=name,
+        num_classes=num_classes,
+        stem_in_channels=SEQ1D_CHANNELS,
+        nominal_resolution=nominal_length,
+        nominal_base_channels=nominal_base_channels,
+        trainable_resolution=trainable_length,
+        trainable_base_channels=trainable_base_channels,
+        num_searchable=num_searchable,
+        candidate_ops=CONV1D_CANDIDATE_OPS,
+        geometry="1d",
+    )
+
+
+class Seq1DTask(TaskWorkload):
+    """1-D convolutional sequence classification."""
+
+    name = "seq1d"
+    default_num_classes = 6
+
+    def build_search_space(self, config) -> NASSearchSpace:
+        return build_seq1d_search_space(
+            num_classes=config.effective_num_classes,
+            num_searchable=config.num_searchable,
+            trainable_length=config.trainable_resolution,
+            trainable_base_channels=config.trainable_base_channels,
+        )
+
+    def build_dataset(
+        self, config, rng: Optional[Union[int, np.random.Generator]] = None
+    ) -> ImageClassificationDataset:
+        return make_sequence_dataset(
+            num_samples=config.image_samples,
+            num_classes=config.effective_num_classes,
+            length=config.resolution,
+            channels=SEQ1D_CHANNELS,
+            rng=rng,
+        )
+
+
+_register_builtin(Seq1DTask())

@@ -13,7 +13,14 @@ both files::
 ``min_ratio`` absorbs runner noise (the vectorised "after" timings are tens
 of milliseconds); ``min_speedup`` is the hard floor that catches the real
 failure mode — losing the vectorised path entirely, which collapses the
-speedup to ~1.  Exit code 0 when every key passes, 1 otherwise.
+speedup to ~1.  Benchmarks named in :data:`TRACKED_KEYS` (``supernet_step``,
+a modest fused-vs-loop win that is BLAS-parallelism-bound rather than a
+vectorised-vs-scalar chasm) are *tracked*: they are compared and printed,
+but gated only on ``min_ratio * baseline`` — a hard 2x floor on a ~1x
+optimisation would turn runner noise into CI flakes.  Every other key keeps
+the hard floor, whatever its committed baseline says, so a silently
+regressed baseline cannot un-gate a vectorised path.  Exit code 0 when
+every key passes, 1 otherwise.
 
 Usage::
 
@@ -29,6 +36,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: Benchmarks exempt from the absolute ``min_speedup`` floor (see module
+#: docstring); everything else is gated at ``max(floor, ratio * baseline)``.
+TRACKED_KEYS = frozenset({"supernet_step"})
+
 
 def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -> list:
     """Per-benchmark ``(key, fresh_speedup, required, passed)`` records.
@@ -40,7 +51,12 @@ def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -
     rows = []
     fresh_results = fresh.get("results", {})
     for key in sorted(baseline.get("results", {})):
-        required = max(min_speedup, min_ratio * float(baseline["results"][key]["speedup"]))
+        baseline_speedup = float(baseline["results"][key]["speedup"])
+        if key in TRACKED_KEYS:
+            # Tracked benchmark: only the relative-regression gate applies.
+            required = min_ratio * baseline_speedup
+        else:
+            required = max(min_speedup, min_ratio * baseline_speedup)
         if key not in fresh_results:
             rows.append((key, 0.0, required, False))
             continue
