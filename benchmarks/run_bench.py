@@ -225,6 +225,127 @@ def main() -> int:
     }
     print(f"supernet_step:        {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
 
+    # ------------------------------------------------------------------
+    # 7. Autograd convolution kernels: cached index plans (gather im2col,
+    #    bincount-scatter col2im, fused depthwise fold) vs the legacy
+    #    stride-trick/loop lowering.  Geometry: a depthwise MBConv-7 layer
+    #    at the search resolution — the col2im-dominated shape class that
+    #    motivates the plan cache.
+    # ------------------------------------------------------------------
+    from repro.autograd import plans as conv_plans
+    from repro.autograd.conv import _col2im, conv2d
+
+    conv_batch = 8 if bench_scale() == "small" else 16
+    conv_channels = 96 if bench_scale() == "small" else 144
+    conv_kernel = 7
+    conv_pad = conv_kernel // 2
+    conv_shape = (conv_batch, conv_channels, 8, 8)
+    conv_rng = np.random.default_rng(1)
+    conv_x = conv_rng.normal(size=conv_shape)
+    conv_w = conv_rng.normal(size=(conv_channels, 1, conv_kernel, conv_kernel))
+    conv_meta = {
+        "shape": list(conv_shape),
+        "kernel": conv_kernel,
+        "groups": conv_channels,
+    }
+
+    def _with_plans(enabled: bool, fn, repeats: int = 3) -> float:
+        previous = conv_plans.set_plans_enabled(enabled)
+        try:
+            fn()  # warm the path (and the plan cache) before timing
+            return _time(fn, repeats=repeats)
+        finally:
+            conv_plans.set_plans_enabled(previous)
+
+    plan = conv_plans.get_plan(
+        conv_shape, (conv_kernel, conv_kernel), (1, 1), (conv_pad, conv_pad)
+    )
+    positions = plan.out_hw[0] * plan.out_hw[1]
+    grad_cols = conv_rng.normal(
+        size=(conv_batch, conv_channels * conv_kernel * conv_kernel, positions)
+    )
+    before = _time(
+        lambda: _col2im(
+            grad_cols,
+            conv_shape,
+            (conv_kernel, conv_kernel),
+            (1, 1),
+            (conv_pad, conv_pad),
+            plan.out_hw,
+        ),
+        repeats=3,
+    )
+    after = _time(lambda: plan.col2im(grad_cols), repeats=3)
+    results["col2im"] = {"before_s": before, "after_s": after, "speedup": before / after, **conv_meta}
+    print(f"col2im:               {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    def conv_forward() -> None:
+        conv2d(Tensor(conv_x), Tensor(conv_w), stride=1, padding=conv_pad, groups=conv_channels)
+
+    before = _with_plans(False, conv_forward)
+    after = _with_plans(True, conv_forward)
+    results["conv_fwd"] = {"before_s": before, "after_s": after, "speedup": before / after, **conv_meta}
+    print(f"conv_fwd:             {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    def conv_backward() -> float:
+        # Input-gradient backward with frozen weights — the relay regime of
+        # co-exploration (the frozen network only passes gradients through
+        # to the architecture parameters).  The graph must be rebuilt under
+        # the current plan setting so the fold path matches it.
+        x = Tensor(conv_x, requires_grad=True)
+        out = conv2d(x, Tensor(conv_w), stride=1, padding=conv_pad, groups=conv_channels)
+        seed = np.ones_like(out.data)
+
+        def backward_once() -> None:
+            x.grad = None
+            out.backward(seed)
+
+        backward_once()
+        return _time(backward_once, repeats=3)
+
+    previous = conv_plans.set_plans_enabled(False)
+    try:
+        before = conv_backward()
+    finally:
+        conv_plans.set_plans_enabled(previous)
+    after = conv_backward()
+    results["conv_bwd"] = {"before_s": before, "after_s": after, "speedup": before / after, **conv_meta}
+    print(f"conv_bwd:             {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    # ------------------------------------------------------------------
+    # 8. Supernet step at float32 (the opt-in train_dtype policy) against
+    #    the fused float64 step from section 6 on the same workload
+    # ------------------------------------------------------------------
+    from repro.autograd.precision import use_dtype
+
+    with use_dtype("float32"):
+        supernet32 = SuperNet(bench_space, rng=0)
+        arch32 = ArchitectureParameters(bench_space, rng=1)
+    for mixed in supernet32.mixed_ops:
+        mixed.fuse_soft_gates = True
+
+    def supernet_step_float32() -> None:
+        with use_dtype("float32"):
+            supernet32.zero_grad()
+            arch32.zero_grad()
+            logits = supernet32(Tensor(images), softmax(arch32.alpha, axis=-1))
+            (logits * logits).mean().backward()
+
+    supernet_step_float32()  # warm up
+    float64_step = results["supernet_step"]["after_s"]
+    after = _time(supernet_step_float32, repeats=3)
+    results["supernet_step_float32"] = {
+        "before_s": float64_step,
+        "after_s": after,
+        "speedup": float64_step / after,
+        "batch": step_batch,
+        "positions": bench_space.num_searchable,
+    }
+    print(
+        f"supernet_step_float32:{float64_step:8.3f} s -> {after:8.4f} s"
+        f"  ({float64_step/after:7.1f}x)"
+    )
+
     payload = {
         "benchmark": "costmodel",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

@@ -7,6 +7,18 @@ paper relies on (ReLU, softmax, Gumbel-softmax, cross-entropy, MSRE), and
 SGD / Adam optimisers with cosine or step schedules.
 """
 
+from repro.autograd.precision import (
+    default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+    use_dtype,
+)
+from repro.autograd.plans import (
+    clear_plan_cache,
+    plan_cache_info,
+    plans_enabled,
+    set_plans_enabled,
+)
 from repro.autograd.tensor import Tensor, as_tensor, concatenate, stack, where, no_grad
 from repro.autograd.module import Module, Parameter
 from repro.autograd import functional
@@ -37,6 +49,14 @@ from repro.autograd.optim import SGD, Adam, Optimizer
 from repro.autograd.scheduler import CosineAnnealingLR, LinearWarmup, LRScheduler, StepLR
 
 __all__ = [
+    "default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+    "use_dtype",
+    "clear_plan_cache",
+    "plan_cache_info",
+    "plans_enabled",
+    "set_plans_enabled",
     "Tensor",
     "as_tensor",
     "concatenate",

@@ -6,31 +6,56 @@ implements Conv2d (with groups, so depthwise convolution is available),
 BatchNorm2d, pooling and a global-average-pool head on top of the autograd
 Tensor, using im2col so the heavy lifting happens inside numpy matmuls.
 
+Three raw-speed tiers sit on the hot path (see ``docs/performance.md``):
+
+* **Cached index plans** — im2col/col2im route through the
+  :mod:`repro.autograd.plans` cache: one precomputed gather per forward and
+  one bincount scatter-add per backward, bit-identical to the historical
+  stride-trick/loop reference (kept below as ``_im2col``/``_col2im`` for the
+  benchmark baseline and the parity tests).
+* **Precision policy** — kernels compute in the tensors' dtype (the
+  :mod:`repro.autograd.precision` policy).  At the float64 default the
+  contractions are the exact legacy einsums; under the opt-in float32
+  training policy they switch to the faster batched-``matmul`` forms, which
+  are tolerance-equal, not bit-equal — acceptable by construction, since
+  float32 training is itself a tolerance regime.
+* **Batch threading** — ``REPRO_NUM_THREADS=N`` chunks the conv2d batch axis
+  over a thread pool (:mod:`repro.autograd.parallel`); off by default.
+
 Data layout is NCHW throughout.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.autograd import init
 from repro.autograd.module import Module, Parameter
+from repro.autograd.parallel import batch_spans, get_pool, num_threads
+from repro.autograd.plans import ConvPlan, get_plan, plans_enabled
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.utils.seeding import as_rng
 
 
 def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
     if isinstance(value, tuple):
-        return value
+        # Coerce the elements too: numpy integer scalars (e.g. from an
+        # indexed shape array) must not leak into shapes and plan-cache keys.
+        return (int(value[0]), int(value[1]))
     return (int(value), int(value))
 
 
 def _im2col(
     x: np.ndarray, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
 ) -> Tuple[np.ndarray, Tuple[int, int]]:
-    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, out_h*out_w)."""
+    """Unfold ``x`` (N, C, H, W) into columns of shape (N, C*kh*kw, out_h*out_w).
+
+    Stride-trick reference implementation: the plan cache's gather produces
+    bit-identical columns (asserted by tests/test_conv_plans.py); this stays
+    as the plans-disabled fallback and the benchmark "before" baseline.
+    """
     n, c, h, w = x.shape
     kh, kw = kernel
     sh, sw = stride
@@ -54,7 +79,12 @@ def _col2im(
     padding: Tuple[int, int],
     out_hw: Tuple[int, int],
 ) -> np.ndarray:
-    """Fold columns back into an image, accumulating overlapping contributions."""
+    """Fold columns back into an image, accumulating overlapping contributions.
+
+    Loop-based reference implementation (one strided add per kernel offset);
+    the plan cache's bincount scatter is the fast path and adds each pixel's
+    contributions in the same (i, j) order, so the two are bit-identical.
+    """
     n, c, h, w = input_shape
     kh, kw = kernel
     sh, sw = stride
@@ -72,6 +102,72 @@ def _col2im(
     return padded[:, :, ph : ph + h, pw : pw + w]
 
 
+# ----------------------------------------------------------------------
+# Lowering helpers: plan-routed with stride-trick/loop fallbacks
+# ----------------------------------------------------------------------
+def _lower(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, Tuple[int, int], Optional[ConvPlan]]:
+    """im2col via the cached plan (or the stride-trick path when disabled)."""
+    if plans_enabled():
+        plan = get_plan(x.shape, kernel, stride, padding)
+        return plan.im2col(x), plan.out_hw, plan
+    cols, out_hw = _im2col(x, kernel, stride, padding)
+    return cols, out_hw, None
+
+
+def _fold(
+    grad_cols: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_hw: Tuple[int, int],
+    plan: Optional[ConvPlan],
+) -> np.ndarray:
+    """col2im via the plan's scatter-add (or the loop path when disabled)."""
+    if plan is not None:
+        return plan.col2im(grad_cols)
+    return _col2im(grad_cols, input_shape, kernel, stride, padding, out_hw)
+
+
+# ----------------------------------------------------------------------
+# Grouped contractions with a float32 matmul fast path
+# ----------------------------------------------------------------------
+def _is_fast_dtype(*arrays: np.ndarray) -> bool:
+    return all(array.dtype == np.float32 for array in arrays)
+
+
+def _forward_contract(weight_grouped: np.ndarray, cols_grouped: np.ndarray) -> np.ndarray:
+    """(g, o, k) x (n, g, k, l) -> (n, g, o, l)."""
+    if _is_fast_dtype(weight_grouped, cols_grouped):
+        return np.matmul(weight_grouped[None], cols_grouped)
+    return np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
+
+
+def _grad_weight_contract(grad_grouped: np.ndarray, cols_grouped: np.ndarray) -> np.ndarray:
+    """(n, g, o, l) x (n, g, k, l) -> (g, o, k)."""
+    if _is_fast_dtype(grad_grouped, cols_grouped):
+        return np.matmul(grad_grouped, np.swapaxes(cols_grouped, -1, -2)).sum(axis=0)
+    return np.einsum("ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True)
+
+
+def _grad_cols_contract(weight_grouped: np.ndarray, grad_grouped: np.ndarray) -> np.ndarray:
+    """(g, o, k) x (n, g, o, l) -> (n, g, k, l)."""
+    if weight_grouped.shape[1] == 1:
+        # Depthwise (one output channel per group): the o-contraction has a
+        # single term, so it is an outer product — one rounding per element,
+        # bit-identical however it is computed — and a broadcast multiply
+        # beats both einsum and batched matmul.  Safe at float64.
+        return np.swapaxes(weight_grouped, -1, -2)[None] * grad_grouped
+    if _is_fast_dtype(weight_grouped, grad_grouped):
+        return np.matmul(np.swapaxes(weight_grouped, -1, -2)[None], grad_grouped)
+    return np.einsum("gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True)
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -86,14 +182,14 @@ def conv2d(
     and may be any autograd tensor — in particular a runtime concatenation
     of several layers' parameters, which is how the supernet's fused
     mixed-operation path evaluates all candidates of one position in a
-    single batched einsum.  :class:`Conv2d` delegates here, so the module
-    and functional forms share one float path.
+    single batched contraction.  :class:`Conv2d` delegates here, so the
+    module and functional forms share one float path.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
     if x.ndim != 4:
         raise ValueError(f"conv2d expects NCHW input, got shape {x.shape}")
-    kernel = (weight.shape[2], weight.shape[3])
+    kernel = (int(weight.shape[2]), int(weight.shape[3]))
     stride = _pair(stride)
     padding = _pair(padding)
     n, c, h, w = x.shape
@@ -103,34 +199,146 @@ def conv2d(
             f"expected {weight.shape[1] * groups} input channels, got {c}"
         )
 
-    cols, (out_h, out_w) = _im2col(x.data, kernel, stride, padding)
     kh, kw = kernel
     group_in = c // groups
     group_out = out_channels // groups
+    weight_grouped = weight.data.reshape(groups, group_out, group_in * kh * kw)
 
-    # One batched einsum over a groups axis replaces the per-group loop;
+    spans = batch_spans(n, num_threads()) if n > 1 else [(0, n)]
+    if len(spans) > 1:
+        return _conv2d_threaded(
+            x, weight, bias, stride, padding, groups, kernel, weight_grouped, spans
+        )
+
+    cols, (out_h, out_w), plan = _lower(x.data, kernel, stride, padding)
+
+    # One batched contraction over a groups axis replaces the per-group loop;
     # with groups == 1 this degenerates to the plain im2col matmul.
     cols_grouped = cols.reshape(n, groups, group_in * kh * kw, out_h * out_w)
-    weight_grouped = weight.data.reshape(groups, group_out, group_in * kh * kw)
-    out = np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
+    out = _forward_contract(weight_grouped, cols_grouped)
     out_data = out.reshape(n, out_channels, out_h, out_w)
     if bias is not None:
         out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+    compute_dtype = out_data.dtype
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64).reshape(n, out_channels, out_h * out_w)
+        grad = np.asarray(grad, dtype=compute_dtype).reshape(n, out_channels, out_h * out_w)
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2)))
         grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
         if weight.requires_grad:
-            grad_w = np.einsum("ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True)
+            grad_w = _grad_weight_contract(grad_grouped, cols_grouped)
             weight._accumulate(grad_w.reshape(weight.data.shape))
         if x.requires_grad:
-            grad_cols = np.einsum("gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True)
+            if plan is not None and group_in == 1 and group_out == 1:
+                # Depthwise: fold the outer-product column gradient without
+                # materialising it (bit-identical, see ConvPlan.col2im_outer).
+                x._accumulate(
+                    plan.col2im_outer(
+                        weight_grouped.reshape(groups, kh * kw),
+                        grad_grouped.reshape(n, groups, out_h * out_w),
+                    )
+                )
+                return
+            grad_cols = _grad_cols_contract(weight_grouped, grad_grouped)
             grad_cols_flat = grad_cols.reshape(n, c * kh * kw, out_h * out_w)
             x._accumulate(
-                _col2im(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w))
+                _fold(grad_cols_flat, (n, c, h, w), kernel, stride, padding, (out_h, out_w), plan)
             )
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    return Tensor._make(out_data, parents, backward)
+
+
+def _conv2d_threaded(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    groups: int,
+    kernel: Tuple[int, int],
+    weight_grouped: np.ndarray,
+    spans: List[Tuple[int, int]],
+) -> Tensor:
+    """conv2d with the batch axis chunked over the shared thread pool.
+
+    Per-sample results (activations, input gradient) are bit-identical to
+    the serial path; the weight gradient sums per-chunk partials in
+    ascending chunk order, which is deterministic for a fixed
+    ``REPRO_NUM_THREADS`` but rounds differently from the serial single
+    contraction (see :mod:`repro.autograd.parallel`).
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_channels = weight.shape[0]
+    group_in = c // groups
+    group_out = out_channels // groups
+    pool = get_pool(len(spans))
+
+    def forward_chunk(span: Tuple[int, int]):
+        start, stop = span
+        cols, out_hw, plan = _lower(x.data[start:stop], kernel, stride, padding)
+        cols_grouped = cols.reshape(
+            stop - start, groups, group_in * kh * kw, out_hw[0] * out_hw[1]
+        )
+        return _forward_contract(weight_grouped, cols_grouped), cols_grouped, plan, out_hw
+
+    chunk_results = list(pool.map(forward_chunk, spans))
+    out_h, out_w = chunk_results[0][3]
+    out_data = np.concatenate([chunk[0] for chunk in chunk_results], axis=0).reshape(
+        n, out_channels, out_h, out_w
+    )
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+    compute_dtype = out_data.dtype
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=compute_dtype).reshape(n, out_channels, out_h * out_w)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
+        need_weight = weight.requires_grad
+        need_input = x.requires_grad
+        if not (need_weight or need_input):
+            return
+
+        def backward_chunk(index: int):
+            start, stop = spans[index]
+            _, cols_grouped, plan, _ = chunk_results[index]
+            chunk_grad = grad_grouped[start:stop]
+            grad_w = _grad_weight_contract(chunk_grad, cols_grouped) if need_weight else None
+            grad_x = None
+            if need_input:
+                if plan is not None and c == groups and out_channels == groups:
+                    grad_x = plan.col2im_outer(
+                        weight_grouped.reshape(groups, kh * kw),
+                        chunk_grad.reshape(stop - start, groups, out_h * out_w),
+                    )
+                else:
+                    grad_cols = _grad_cols_contract(weight_grouped, chunk_grad)
+                    grad_cols_flat = grad_cols.reshape(
+                        stop - start, c * kh * kw, out_h * out_w
+                    )
+                    grad_x = _fold(
+                        grad_cols_flat,
+                        (stop - start, c, h, w),
+                        kernel,
+                        stride,
+                        padding,
+                        (out_h, out_w),
+                        plan,
+                    )
+            return grad_w, grad_x
+
+        pieces = list(pool.map(backward_chunk, range(len(spans))))
+        if need_weight:
+            grad_w_total = pieces[0][0]
+            for grad_w, _ in pieces[1:]:
+                grad_w_total = grad_w_total + grad_w
+            weight._accumulate(grad_w_total.reshape(weight.data.shape))
+        if need_input:
+            x._accumulate(np.concatenate([piece[1] for piece in pieces], axis=0))
 
     parents = (x, weight) + ((bias,) if bias is not None else ())
     return Tensor._make(out_data, parents, backward)
@@ -217,6 +425,7 @@ class BatchNorm2d(Module):
         self.bias = Parameter(init.zeros((num_features,)), name="bias")
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
+        self._eval_stats_cache: Optional[Tuple[Tensor, Tensor]] = None
 
     def update_running(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
         """Momentum-blend one batch's statistics into the running buffers."""
@@ -227,6 +436,30 @@ class BatchNorm2d(Module):
             (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var
         )
 
+    def _eval_stats(self) -> Tuple[Tensor, Tensor]:
+        """Cached ``(1, C, 1, 1)`` views of the running statistics.
+
+        The cached tensors *view* the registered buffers, so in-place updates
+        (``update_running``, ``load_state_dict``) are reflected without any
+        invalidation; the cache only rebuilds if a buffer array is replaced
+        wholesale (``register_buffer``) or the precision policy changed the
+        view into a copy.
+        """
+        mean_buf = self._buffers["running_mean"]
+        var_buf = self._buffers["running_var"]
+        cache = self._eval_stats_cache
+        if (
+            cache is None
+            or cache[0].data.base is not mean_buf
+            or cache[1].data.base is not var_buf
+        ):
+            cache = (
+                Tensor(mean_buf.reshape(1, -1, 1, 1)),
+                Tensor(var_buf.reshape(1, -1, 1, 1)),
+            )
+            self._eval_stats_cache = cache
+        return cache
+
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         x = as_tensor(x)
         if x.ndim != 4:
@@ -235,8 +468,7 @@ class BatchNorm2d(Module):
             mean, var = batch_moments(x, (0, 2, 3))
             self.update_running(mean.data.reshape(-1), var.data.reshape(-1))
         else:
-            mean = Tensor(self._buffers["running_mean"].reshape(1, -1, 1, 1))
-            var = Tensor(self._buffers["running_var"].reshape(1, -1, 1, 1))
+            mean, var = self._eval_stats()
         scale = self.weight.reshape(1, self.num_features, 1, 1)
         shift = self.bias.reshape(1, self.num_features, 1, 1)
         return batchnorm_affine(x, mean, var, scale, shift, self.eps)
@@ -256,17 +488,20 @@ class AvgPool2d(Module):
         k, s = self.kernel_size, self.stride
         out_h = (h - k) // s + 1
         out_w = (w - k) // s + 1
-        cols, _ = _im2col(x.data, (k, k), (s, s), (0, 0))
+        cols, _, plan = _lower(x.data, (k, k), (s, s), (0, 0))
         cols = cols.reshape(n, c, k * k, out_h * out_w)
         out_data = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+        compute_dtype = out_data.dtype
 
         def backward(grad: np.ndarray) -> None:
             if not x.requires_grad:
                 return
-            grad = np.asarray(grad, dtype=np.float64).reshape(n, c, 1, out_h * out_w)
+            grad = np.asarray(grad, dtype=compute_dtype).reshape(n, c, 1, out_h * out_w)
             grad_cols = np.broadcast_to(grad / (k * k), (n, c, k * k, out_h * out_w))
             grad_cols = grad_cols.reshape(n, c * k * k, out_h * out_w)
-            x._accumulate(_col2im(grad_cols, (n, c, h, w), (k, k), (s, s), (0, 0), (out_h, out_w)))
+            x._accumulate(
+                _fold(grad_cols, (n, c, h, w), (k, k), (s, s), (0, 0), (out_h, out_w), plan)
+            )
 
         return Tensor._make(out_data, (x,), backward)
 

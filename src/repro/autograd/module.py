@@ -13,6 +13,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.autograd.precision import default_dtype
 from repro.autograd.tensor import Tensor
 
 
@@ -43,8 +44,13 @@ class Module:
         object.__setattr__(self, name, value)
 
     def register_buffer(self, name: str, value: np.ndarray) -> None:
-        """Register a non-trainable array (e.g. batch-norm running stats)."""
-        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        """Register a non-trainable array (e.g. batch-norm running stats).
+
+        Buffers are stored in the precision policy's dtype so a float32
+        experiment keeps its running statistics in float32 alongside the
+        parameters.
+        """
+        self._buffers[name] = np.ascontiguousarray(value, dtype=default_dtype())
         object.__setattr__(self, name, self._buffers[name])
 
     def add_module(self, name: str, module: "Module") -> None:
@@ -146,7 +152,9 @@ class Module:
                         f"shape mismatch for buffer {buffer_name!r}: "
                         f"{current.shape} vs {np.asarray(value).shape}"
                     )
-                owner._buffers[local_name][...] = np.asarray(value, dtype=np.float64)
+                # In-place write in the buffer's own dtype: existing views
+                # (e.g. BatchNorm2d's cached eval-mode stats) stay valid.
+                owner._buffers[local_name][...] = np.asarray(value, dtype=current.dtype)
             else:
                 if name not in params:
                     raise KeyError(f"unknown parameter {name!r}")
@@ -155,7 +163,7 @@ class Module:
                         f"shape mismatch for parameter {name!r}: "
                         f"{params[name].data.shape} vs {np.asarray(value).shape}"
                     )
-                params[name].data[...] = np.asarray(value, dtype=np.float64)
+                params[name].data[...] = np.asarray(value, dtype=params[name].data.dtype)
 
     def _collect_buffer_owners(self, prefix: str = "") -> Dict[str, Tuple["Module", str]]:
         owners: Dict[str, Tuple[Module, str]] = {}

@@ -56,9 +56,16 @@ class Optimizer:
         }
 
     def _slots_from_index(self, state: Dict[str, np.ndarray]) -> Dict[int, np.ndarray]:
-        """Inverse of :meth:`_slots_by_index`."""
+        """Inverse of :meth:`_slots_by_index`.
+
+        Slots are restored in their parameter's dtype, so a float32 training
+        run resumes with float32 momentum/variance buffers (checkpoints
+        preserve dtype, making this a no-op on a same-policy resume).
+        """
         return {
-            id(self.parameters[int(index)]): np.asarray(value, dtype=np.float64)
+            id(self.parameters[int(index)]): np.asarray(
+                value, dtype=self.parameters[int(index)].data.dtype
+            )
             for index, value in state.items()
         }
 

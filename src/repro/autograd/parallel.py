@@ -1,0 +1,73 @@
+"""Optional thread-parallelism across the batch dimension of conv kernels.
+
+Off by default: ``REPRO_NUM_THREADS=N`` (N > 1) splits the batch axis of
+``conv2d`` forward/backward into up to N contiguous chunks executed on a
+shared thread pool.  Numpy releases the GIL inside the heavy kernels (GEMM,
+``take``, ``bincount``), so chunks genuinely overlap.
+
+Determinism: chunk boundaries depend only on (batch size, thread count) and
+per-chunk results are combined in ascending chunk order, so a given thread
+count always produces the same floats.  Per-sample quantities (the forward
+activations, the input gradient) are bit-identical to the serial path; the
+*weight* gradient is a sum of per-chunk partial sums, which rounds
+differently from the single-contraction serial path — the reason the feature
+is opt-in and never on during golden/bit-identity runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+ENV_NUM_THREADS = "REPRO_NUM_THREADS"
+
+_lock = threading.Lock()
+_pool: Optional[ThreadPoolExecutor] = None
+_pool_size = 0
+
+
+def num_threads() -> int:
+    """The configured kernel thread count (1 = serial, the default)."""
+    raw = os.environ.get(ENV_NUM_THREADS, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_NUM_THREADS} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{ENV_NUM_THREADS} must be >= 1, got {value}")
+    return value
+
+
+def get_pool(size: int) -> ThreadPoolExecutor:
+    """The shared pool, resized (rebuilt) when the configured size changes."""
+    global _pool, _pool_size
+    with _lock:
+        if _pool is None or _pool_size != size:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(max_workers=size, thread_name_prefix="repro-conv")
+            _pool_size = size
+        return _pool
+
+
+def batch_spans(batch: int, threads: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` chunks of a batch for ``threads`` workers.
+
+    Chunk sizes differ by at most one and depend only on the two arguments,
+    keeping threaded accumulation order deterministic.
+    """
+    chunks = min(threads, batch)
+    base, extra = divmod(batch, chunks)
+    spans = []
+    start = 0
+    for index in range(chunks):
+        stop = start + base + (1 if index < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans

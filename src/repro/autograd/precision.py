@@ -1,0 +1,88 @@
+"""The autograd precision policy: which float dtype new tensors are made of.
+
+The repository keeps two numeric regimes side by side:
+
+* **float64 (the default)** — the bit-identity regime.  The hardware cost
+  oracle, the RNG streams, checkpoint resume and every golden-result test
+  are fenced at float64; nothing in this module changes their behaviour
+  unless a caller explicitly opts out.
+* **float32 (opt-in)** — the raw-speed training regime.  Supernet and
+  evaluator training are BLAS-bound, and single-precision GEMMs move half
+  the bytes; ``ExperimentConfig.train_dtype = "float32"`` (CLI:
+  ``--set train_dtype=float32``) runs a whole search in float32 while the
+  cost model — plain numpy, never routed through :class:`Tensor` — stays
+  float64.
+
+The policy is a process-global default consulted by ``Tensor.__init__`` and
+``Module.register_buffer``; gradients always follow the dtype of the tensor
+they flow into, so a policy switch never mixes precisions inside one graph.
+Use :func:`use_dtype` to scope a policy change (the experiment factory and
+runner do exactly this around component construction and the step loop).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Union
+
+import contextlib
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: The dtypes a policy may select.  Half precision is pointless on CPU BLAS
+#: and would starve the optimisers of mantissa, so the policy is binary.
+SUPPORTED_DTYPES = {
+    "float64": np.dtype(np.float64),
+    "float32": np.dtype(np.float32),
+}
+
+_lock = threading.Lock()
+_default_dtype: np.dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: DTypeLike) -> np.dtype:
+    """Normalise a policy spec (``"float32"``, ``np.float32``, ...) to a dtype.
+
+    Raises ``ValueError`` for anything outside :data:`SUPPORTED_DTYPES` so a
+    typo'd config value fails at validation time, not deep inside training.
+    """
+    if isinstance(dtype, str):
+        key = dtype.lower()
+        if key not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported dtype {dtype!r}; expected one of {sorted(SUPPORTED_DTYPES)}"
+            )
+        return SUPPORTED_DTYPES[key]
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES.values():
+        raise ValueError(
+            f"unsupported dtype {resolved}; expected one of {sorted(SUPPORTED_DTYPES)}"
+        )
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors, parameters and buffers are created with."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-wide default float dtype; returns the previous one."""
+    global _default_dtype
+    resolved = resolve_dtype(dtype)
+    with _lock:
+        previous = _default_dtype
+        _default_dtype = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def use_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
+    """Context manager scoping a default-dtype change (restores on exit)."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)

@@ -18,6 +18,8 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd.precision import default_dtype
+
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
@@ -73,7 +75,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a float numpy array.  The storage dtype is
+        the :func:`repro.autograd.precision.default_dtype` policy (float64
+        unless an experiment opts into float32 training); gradients always
+        follow the dtype of the tensor they accumulate into.
     requires_grad:
         If ``True`` the tensor participates in the autodiff graph and
         accumulates gradients in :attr:`grad` when :meth:`backward` is called
@@ -90,7 +95,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        self.data: np.ndarray = np.asarray(data, dtype=default_dtype())
         self.requires_grad: bool = bool(requires_grad) and _grad_enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -161,8 +166,8 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        """Add ``grad`` into this tensor's gradient buffer (in its dtype)."""
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -343,7 +348,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            g = np.asarray(grad, dtype=np.float64)
+            g = np.asarray(grad, dtype=self.data.dtype)
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else tuple(axis)
                 axes = tuple(a % self.data.ndim for a in axes)
@@ -373,9 +378,9 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
                 return
-            g = np.asarray(grad, dtype=np.float64)
+            g = np.asarray(grad, dtype=self.data.dtype)
             expanded = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
@@ -423,7 +428,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
-                np.add.at(full, key, np.asarray(grad, dtype=np.float64))
+                np.add.at(full, key, np.asarray(grad, dtype=self.data.dtype))
                 self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
@@ -446,7 +451,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order over the graph reachable from self.
         topo: List[Tensor] = []
@@ -486,7 +491,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
     offsets = np.cumsum([0] + sizes)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=out_data.dtype)
         for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
             if tensor.requires_grad:
                 slicer = [slice(None)] * grad.ndim
@@ -502,7 +507,7 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     out_data = np.stack([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=out_data.dtype)
         moved = np.moveaxis(grad, axis, 0)
         for tensor, piece in zip(tensors, moved):
             if tensor.requires_grad:
@@ -519,7 +524,7 @@ def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
     out_data = np.where(cond, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=out_data.dtype)
         if a.requires_grad:
             a._accumulate(grad * cond)
         if b.requires_grad:

@@ -65,6 +65,13 @@ class ExperimentConfig:
     evaluator_cost_epochs: int = 25
     feature_forwarding: bool = True
 
+    # -- numerics -------------------------------------------------------
+    # Dtype used for tensors while building and training the models.
+    # "float64" (the default) is the bit-identity regime every golden test
+    # is fenced at; "float32" runs supernet/evaluator training at single
+    # precision for raw speed (the cost model stays float64 either way).
+    train_dtype: str = "float64"
+
     # -- search budget --------------------------------------------------
     search_epochs: int = 2
     batch_size: int = 32
@@ -92,6 +99,11 @@ class ExperimentConfig:
             raise ValueError(f"unknown hw_space {self.hw_space!r}; expected 'tiny' or 'full'")
         if self.cost not in ("edap", "linear"):
             raise ValueError(f"unknown cost {self.cost!r}; expected 'edap' or 'linear'")
+        from repro.autograd.precision import resolve_dtype
+
+        # Normalises "float32"/"float64" and raises the canonical
+        # unsupported-dtype ValueError for anything else.
+        resolve_dtype(self.train_dtype)
         from repro.hwmodel.backends import available_backends
         from repro.tasks import get_task
 

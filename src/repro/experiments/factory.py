@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
+from repro.autograd.precision import use_dtype
 from repro.core import (
     BaselineConfig,
     BaselineSearcher,
@@ -141,7 +142,19 @@ def build_evaluator(
 
 
 def build_components(config: ExperimentConfig, train_evaluator_net: bool = True) -> ExperimentComponents:
-    """Assemble all components (spaces, data, cost model, searcher) for a run."""
+    """Assemble all components (spaces, data, cost model, searcher) for a run.
+
+    Construction runs under the config's ``train_dtype`` precision policy: a
+    float32 experiment initialises float32 parameters/buffers (and trains its
+    evaluator in float32), while the cost table and hardware model — plain
+    numpy, never routed through :class:`~repro.autograd.Tensor` — stay
+    float64 regardless.
+    """
+    with use_dtype(config.train_dtype):
+        return _build_components(config, train_evaluator_net)
+
+
+def _build_components(config: ExperimentConfig, train_evaluator_net: bool) -> ExperimentComponents:
     nas_space = build_search_space(config)
     hw_space = build_hw_space(config)
     cost_table = CostTable(nas_space, hw_space)

@@ -23,6 +23,7 @@ import math
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.autograd.precision import use_dtype
 from repro.core.results import SearchResult, format_comparison_table, format_results_table
 from repro.data.synthetic import ImageClassificationDataset
 from repro.experiments.config import ExperimentConfig
@@ -201,18 +202,22 @@ class Runner:
         # so skip the (expensive) evaluator training during rebuild.
         train_evaluator_net = not (state is not None and "evaluator" in state)
         components = build_components(config, train_evaluator_net=train_evaluator_net)
-        return self.execute(
-            components.searcher,
-            components.train_set,
-            components.val_set,
-            method_name=method_name,
-            retrain_final=config.retrain_final,
-            workdir=workdir,
-            checkpoint_every=config.checkpoint_every,
-            max_steps=max_steps,
-            state=state,
-            on_step=on_step,
-        )
+        # The step loop runs under the same precision policy the components
+        # were built with, so every tensor created during search/retraining
+        # matches the parameters' dtype.
+        with use_dtype(config.train_dtype):
+            return self.execute(
+                components.searcher,
+                components.train_set,
+                components.val_set,
+                method_name=method_name,
+                retrain_final=config.retrain_final,
+                workdir=workdir,
+                checkpoint_every=config.checkpoint_every,
+                max_steps=max_steps,
+                state=state,
+                on_step=on_step,
+            )
 
     def resume(
         self,

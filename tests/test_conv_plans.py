@@ -1,0 +1,230 @@
+"""Parity and cache tests for the cached convolution plans.
+
+The plan tier (gather im2col, bincount-scatter col2im, fused depthwise
+fold) must be *bit-identical* to the legacy stride-trick/loop lowering at
+float64 — that invariant is what lets the fast path ship without touching a
+single golden result.  These tests sweep the geometry grid the search space
+actually uses (kernel x stride x padding x groups, including the height-1
+sequence-task shapes) and assert exact equality of activations and every
+gradient; float32 runs the same graphs and is checked to tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import plans, use_dtype
+from repro.autograd.conv import AvgPool2d, _col2im, _im2col, conv2d
+from repro.autograd.parallel import batch_spans, num_threads
+from repro.autograd.plans import clear_plan_cache, get_plan, plan_cache_info, set_plans_enabled
+from repro.autograd.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_state():
+    """Each test starts with an empty cache and the tier enabled."""
+    clear_plan_cache()
+    previous = set_plans_enabled(True)
+    yield
+    set_plans_enabled(previous)
+    clear_plan_cache()
+
+
+# Geometry grid: (input NCHW, kernel, stride, padding, groups).  Covers the
+# dense stem, grouped/pointwise and depthwise MBConv layers, strided
+# downsampling, asymmetric padding and the height-1 seq1d task geometry.
+PARITY_GRID = [
+    ((2, 3, 8, 8), (3, 3), (1, 1), (1, 1), 1),
+    ((2, 4, 8, 8), (1, 1), (1, 1), (0, 0), 1),
+    ((3, 6, 9, 9), (3, 3), (2, 2), (1, 1), 3),
+    ((2, 8, 8, 8), (5, 5), (1, 1), (2, 2), 8),
+    ((2, 8, 8, 8), (7, 7), (1, 1), (3, 3), 8),
+    ((2, 6, 10, 7), (3, 3), (2, 1), (0, 1), 2),
+    ((2, 4, 1, 16), (1, 3), (1, 1), (0, 1), 1),
+    ((2, 4, 1, 16), (1, 3), (1, 2), (0, 1), 4),
+]
+
+
+def _run_conv(x_data, w_data, stride, padding, groups, enabled, with_bias=True):
+    previous = set_plans_enabled(enabled)
+    try:
+        x = Tensor(x_data, requires_grad=True)
+        weight = Tensor(w_data, requires_grad=True)
+        bias_data = np.linspace(-1.0, 1.0, w_data.shape[0])
+        bias = Tensor(bias_data, requires_grad=True) if with_bias else None
+        out = conv2d(x, weight, bias=bias, stride=stride, padding=padding, groups=groups)
+        (out * out).sum().backward()
+        grads = (x.grad, weight.grad) + ((bias.grad,) if with_bias else ())
+        return (out.data,) + grads
+    finally:
+        set_plans_enabled(previous)
+
+
+@pytest.mark.parametrize("shape,kernel,stride,padding,groups", PARITY_GRID)
+def test_plan_path_bit_identical_to_legacy_float64(shape, kernel, stride, padding, groups):
+    rng = np.random.default_rng(7)
+    cin = shape[1]
+    cout = cin if groups == cin else 2 * groups
+    x_data = rng.normal(size=shape)
+    w_data = rng.normal(size=(cout, cin // groups, kernel[0], kernel[1]))
+    fast = _run_conv(x_data, w_data, stride, padding, groups, enabled=True)
+    legacy = _run_conv(x_data, w_data, stride, padding, groups, enabled=False)
+    for fast_arr, legacy_arr in zip(fast, legacy):
+        assert np.array_equal(fast_arr, legacy_arr)
+
+
+@pytest.mark.parametrize("shape,kernel,stride,padding,groups", PARITY_GRID)
+def test_plan_path_matches_legacy_float32_to_tolerance(shape, kernel, stride, padding, groups):
+    rng = np.random.default_rng(11)
+    cin = shape[1]
+    cout = cin if groups == cin else 2 * groups
+    x_data = rng.normal(size=shape)
+    w_data = rng.normal(size=(cout, cin // groups, kernel[0], kernel[1]))
+    with use_dtype("float32"):
+        fast = _run_conv(x_data, w_data, stride, padding, groups, enabled=True)
+        legacy = _run_conv(x_data, w_data, stride, padding, groups, enabled=False)
+    for fast_arr, legacy_arr in zip(fast, legacy):
+        assert fast_arr.dtype == np.float32
+        np.testing.assert_allclose(fast_arr, legacy_arr, rtol=1e-4, atol=1e-4)
+
+
+def test_im2col_gather_bit_identical_to_stride_trick():
+    rng = np.random.default_rng(3)
+    for shape, kernel, stride, padding, _ in PARITY_GRID:
+        x = rng.normal(size=shape)
+        plan = get_plan(shape, kernel, stride, padding)
+        cols_ref, out_hw = _im2col(x, kernel, stride, padding)
+        assert plan.out_hw == out_hw
+        assert np.array_equal(plan.im2col(x), cols_ref)
+
+
+def test_col2im_scatter_bit_identical_to_loop():
+    rng = np.random.default_rng(4)
+    for shape, kernel, stride, padding, _ in PARITY_GRID:
+        plan = get_plan(shape, kernel, stride, padding)
+        length = plan.out_hw[0] * plan.out_hw[1]
+        cols = rng.normal(size=(shape[0], shape[1] * kernel[0] * kernel[1], length))
+        reference = _col2im(cols, shape, kernel, stride, padding, plan.out_hw)
+        assert np.array_equal(plan.col2im(cols), reference)
+
+
+def test_col2im_outer_matches_materialised_fold():
+    """The fused depthwise fold equals col2im of the explicit outer product."""
+    rng = np.random.default_rng(5)
+    shape, kernel, stride, padding = (3, 6, 8, 8), (5, 5), (1, 1), (2, 2)
+    plan = get_plan(shape, kernel, stride, padding)
+    taps = kernel[0] * kernel[1]
+    length = plan.out_hw[0] * plan.out_hw[1]
+    weight = rng.normal(size=(shape[1], taps))
+    grad = rng.normal(size=(shape[0], shape[1], length))
+    explicit = (weight[None, :, :, None] * grad[:, :, None, :]).reshape(
+        shape[0], shape[1] * taps, length
+    )
+    assert np.array_equal(plan.col2im_outer(weight, grad), plan.col2im(explicit))
+
+
+def test_avgpool_plan_parity():
+    rng = np.random.default_rng(6)
+    pool = AvgPool2d(2)
+    x_data = rng.normal(size=(2, 3, 8, 8))
+    outputs = []
+    for enabled in (True, False):
+        set_plans_enabled(enabled)
+        x = Tensor(x_data, requires_grad=True)
+        out = pool(x)
+        out.sum().backward()
+        outputs.append((out.data, x.grad))
+    for fast_arr, legacy_arr in zip(*outputs):
+        assert np.array_equal(fast_arr, legacy_arr)
+
+
+class TestPlanCache:
+    def test_plans_are_reused_across_calls_and_batch_sizes(self):
+        get_plan((4, 3, 8, 8), (3, 3), (1, 1), (1, 1))
+        get_plan((4, 3, 8, 8), (3, 3), (1, 1), (1, 1))
+        # The batch size is not part of the key: a final odd-sized batch or
+        # a threaded chunk reuses its full-batch geometry's plan.
+        get_plan((1, 3, 8, 8), (3, 3), (1, 1), (1, 1))
+        info = plan_cache_info()
+        assert info == {"size": 1, "hits": 2, "misses": 1}
+
+    def test_distinct_geometries_get_distinct_plans(self):
+        first = get_plan((2, 3, 8, 8), (3, 3), (1, 1), (1, 1))
+        second = get_plan((2, 3, 8, 8), (3, 3), (2, 2), (1, 1))
+        assert first is not second
+        assert plan_cache_info()["size"] == 2
+
+    def test_cache_is_bounded(self):
+        for width in range(plans.MAX_PLANS + 10):
+            get_plan((1, 1, 1, 8 + width), (1, 1), (1, 1), (0, 0))
+        assert plan_cache_info()["size"] == plans.MAX_PLANS
+
+    def test_empty_output_geometry_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            get_plan((1, 1, 2, 2), (5, 5), (1, 1), (0, 0))
+
+    def test_disable_toggle_returns_previous_state(self):
+        assert set_plans_enabled(False) is True
+        assert set_plans_enabled(True) is False
+
+
+class TestThreadedBatch:
+    def test_batch_spans_partition_and_determinism(self):
+        spans = batch_spans(10, 4)
+        assert spans == [(0, 3), (3, 6), (6, 8), (8, 10)]
+        assert batch_spans(10, 4) == spans
+        assert batch_spans(2, 8) == [(0, 1), (1, 2)]
+        assert batch_spans(5, 1) == [(0, 5)]
+
+    def test_num_threads_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        assert num_threads() == 1
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        assert num_threads() == 3
+        monkeypatch.setenv("REPRO_NUM_THREADS", "zero")
+        with pytest.raises(ValueError):
+            num_threads()
+        monkeypatch.setenv("REPRO_NUM_THREADS", "0")
+        with pytest.raises(ValueError):
+            num_threads()
+
+    def test_threaded_conv_matches_serial(self, monkeypatch):
+        rng = np.random.default_rng(9)
+        x_data = rng.normal(size=(7, 6, 8, 8))
+        w_data = rng.normal(size=(12, 6, 3, 3))
+
+        def run():
+            x = Tensor(x_data, requires_grad=True)
+            weight = Tensor(w_data, requires_grad=True)
+            out = conv2d(x, weight, stride=1, padding=1)
+            (out * out).sum().backward()
+            return out.data, x.grad, weight.grad
+
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        serial_out, serial_gx, serial_gw = run()
+        monkeypatch.setenv("REPRO_NUM_THREADS", "3")
+        threaded_out, threaded_gx, threaded_gw = run()
+        # Per-sample quantities are bit-identical; the weight gradient sums
+        # per-chunk partials (deterministic order, different rounding).
+        assert np.array_equal(serial_out, threaded_out)
+        assert np.array_equal(serial_gx, threaded_gx)
+        np.testing.assert_allclose(serial_gw, threaded_gw, rtol=1e-10)
+
+    def test_threaded_depthwise_uses_fused_fold(self, monkeypatch):
+        rng = np.random.default_rng(10)
+        x_data = rng.normal(size=(5, 8, 8, 8))
+        w_data = rng.normal(size=(8, 1, 5, 5))
+
+        def run():
+            x = Tensor(x_data, requires_grad=True)
+            out = conv2d(x, Tensor(w_data), stride=1, padding=2, groups=8)
+            out.backward(np.ones_like(out.data))
+            return out.data, x.grad
+
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        serial = run()
+        monkeypatch.setenv("REPRO_NUM_THREADS", "2")
+        threaded = run()
+        assert np.array_equal(serial[0], threaded[0])
+        assert np.array_equal(serial[1], threaded[1])

@@ -1,0 +1,292 @@
+"""Tests for the autograd precision policy and its experiment plumbing.
+
+Covers the policy primitives (``default_dtype``/``set_default_dtype``/
+``use_dtype``), dtype propagation through tensors, modules, buffers and
+optimiser slots, the ``ExperimentConfig.train_dtype`` threading (validation,
+CLI override, factory construction), and the satellites that ride along:
+the ``_pair`` integer coercion and the cached BatchNorm2d eval statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    Linear,
+    SGD,
+    Tensor,
+    default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+    use_dtype,
+)
+from repro.autograd.conv import _pair
+from repro.autograd.functional import cross_entropy
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_default_dtype():
+    """No test may leak a non-default policy into the rest of the suite."""
+    yield
+    set_default_dtype(np.float64)
+
+
+# Mirrors TINY_RUN in test_experiments.py: the smallest configuration that
+# exercises every pipeline stage without taking minutes.
+TINY_RUN = dict(
+    num_searchable=3,
+    trainable_base_channels=4,
+    image_samples=96,
+    evaluator_samples=150,
+    evaluator_hw_epochs=4,
+    evaluator_cost_epochs=6,
+    search_epochs=3,
+    final_epochs=1,
+)
+
+
+class TestPolicyPrimitives:
+    def test_default_is_float64(self):
+        assert default_dtype() == np.dtype(np.float64)
+
+    def test_resolve_accepts_names_and_dtypes(self):
+        assert resolve_dtype("float32") == np.dtype(np.float32)
+        assert resolve_dtype("FLOAT64") == np.dtype(np.float64)
+        assert resolve_dtype(np.float32) == np.dtype(np.float32)
+
+    @pytest.mark.parametrize("bad", ["float16", "int32", "double64", object])
+    def test_resolve_rejects_unsupported(self, bad):
+        with pytest.raises((ValueError, TypeError)):
+            resolve_dtype(bad)
+
+    def test_set_returns_previous(self):
+        previous = set_default_dtype("float32")
+        assert previous == np.dtype(np.float64)
+        assert default_dtype() == np.dtype(np.float32)
+
+    def test_use_dtype_scopes_and_restores_on_error(self):
+        with use_dtype("float32"):
+            assert default_dtype() == np.dtype(np.float32)
+        assert default_dtype() == np.dtype(np.float64)
+        with pytest.raises(RuntimeError):
+            with use_dtype("float32"):
+                raise RuntimeError("boom")
+        assert default_dtype() == np.dtype(np.float64)
+
+
+class TestDtypePropagation:
+    def test_tensor_storage_follows_policy(self):
+        with use_dtype("float32"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_gradients_follow_tensor_dtype(self):
+        with use_dtype("float32"):
+            x = Tensor(np.ones((3, 4)), requires_grad=True)
+            layer = Linear(4, 2, rng=0)
+            loss = (layer(x) * layer(x)).mean()
+            loss.backward()
+            assert x.grad.dtype == np.float32
+            assert layer.weight.grad.dtype == np.float32
+            assert loss.data.dtype == np.float32
+
+    def test_conv_and_batchnorm_run_in_float32(self):
+        with use_dtype("float32"):
+            conv = Conv2d(3, 8, 3, padding=1, rng=0)
+            norm = BatchNorm2d(8)
+            x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8)), requires_grad=True)
+            out = norm(conv(x))
+            assert out.data.dtype == np.float32
+            assert norm._buffers["running_mean"].dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32
+
+    def test_cross_entropy_float32(self):
+        with use_dtype("float32"):
+            logits = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+            loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+            loss.backward()
+            assert loss.data.dtype == np.float32
+            assert logits.grad.dtype == np.float32
+
+    def test_optimizer_slots_follow_parameter_dtype(self):
+        with use_dtype("float32"):
+            layer = Linear(4, 2, rng=0)
+            sgd = SGD(layer.parameters(), lr=0.1, momentum=0.9)
+            adam = Adam(layer.parameters(), lr=0.01)
+            for _ in range(2):
+                layer.zero_grad()
+                loss = (layer(Tensor(np.ones((3, 4)))) ** 2).mean()
+                loss.backward()
+                sgd.step()
+                adam.step()
+            assert all(buf.dtype == np.float32 for buf in sgd._velocity.values())
+            assert all(buf.dtype == np.float32 for buf in adam._m.values())
+            assert layer.weight.data.dtype == np.float32
+
+    def test_optimizer_state_roundtrip_preserves_dtype(self):
+        with use_dtype("float32"):
+            layer = Linear(4, 2, rng=0)
+            sgd = SGD(layer.parameters(), lr=0.1, momentum=0.9)
+            layer.zero_grad()
+            (layer(Tensor(np.ones((3, 4)))) ** 2).mean().backward()
+            sgd.step()
+            restored = SGD(layer.parameters(), lr=0.1, momentum=0.9)
+            restored.load_state_dict(sgd.state_dict())
+            assert all(buf.dtype == np.float32 for buf in restored._velocity.values())
+
+    def test_module_state_dict_roundtrip_in_float32(self):
+        with use_dtype("float32"):
+            source = Conv2d(3, 4, 3, rng=0)
+            target = Conv2d(3, 4, 3, rng=1)
+            target.load_state_dict(source.state_dict())
+            assert target.weight.data.dtype == np.float32
+            assert np.array_equal(target.weight.data, source.weight.data)
+
+    def test_float64_default_unchanged(self):
+        """The default regime must produce exactly the historical float64."""
+        layer = Linear(4, 2, rng=0)
+        loss = (layer(Tensor(np.ones((3, 4)))) ** 2).mean()
+        loss.backward()
+        assert loss.data.dtype == np.float64
+        assert layer.weight.grad.dtype == np.float64
+
+
+class TestConfigPlumbing:
+    def test_default_train_dtype(self):
+        assert ExperimentConfig().train_dtype == "float64"
+
+    def test_invalid_train_dtype_rejected_at_validation(self):
+        with pytest.raises(ValueError, match="unsupported dtype"):
+            ExperimentConfig(train_dtype="float16")
+
+    def test_cli_override(self):
+        config = ExperimentConfig().apply_override("train_dtype", "float32")
+        assert config.train_dtype == "float32"
+
+    def test_roundtrips_through_dict(self):
+        config = ExperimentConfig(train_dtype="float32")
+        assert ExperimentConfig.from_dict(config.to_dict()).train_dtype == "float32"
+
+    def test_factory_builds_float32_components(self):
+        from repro.experiments.factory import build_components
+
+        config = ExperimentConfig(
+            method="dance",
+            seed=0,
+            train_dtype="float32",
+            **TINY_RUN,
+        )
+        # train_evaluator_net=False: construction (not training) is enough to
+        # observe the policy, and it keeps this test fast.
+        components = build_components(config, train_evaluator_net=False)
+        evaluator = components.evaluator
+        assert evaluator is not None
+        assert all(p.data.dtype == np.float32 for p in evaluator.parameters())
+        # The policy is scoped: after construction the process default is back.
+        assert default_dtype() == np.dtype(np.float64)
+        # The cost table is plain numpy and stays float64 regardless.
+        assert components.cost_table.op_latency.dtype == np.float64
+
+
+class TestPairCoercion:
+    def test_scalar_and_tuple(self):
+        assert _pair(3) == (3, 3)
+        assert _pair((2, 5)) == (2, 5)
+
+    def test_numpy_integers_coerced_to_python_int(self):
+        result = _pair((np.int64(2), np.int32(3)))
+        assert result == (2, 3)
+        assert type(result[0]) is int and type(result[1]) is int
+        result = _pair(np.int64(4))
+        assert result == (4, 4)
+        assert type(result[0]) is int
+
+
+class TestBatchNormEvalCache:
+    def _stats_tensor_ids(self, norm):
+        mean, var = norm._eval_stats()
+        return id(mean), id(var)
+
+    def test_eval_stats_cached_across_forwards(self):
+        norm = BatchNorm2d(4)
+        norm.eval()
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 4, 3, 3)))
+        first = self._stats_tensor_ids(norm)
+        norm(x)
+        assert self._stats_tensor_ids(norm) == first
+
+    def test_inplace_running_update_visible_through_cache(self):
+        norm = BatchNorm2d(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 4, 3, 3)))
+        norm.eval()
+        before = norm(x).data.copy()
+        ids = self._stats_tensor_ids(norm)
+        norm.train()
+        norm(x)  # updates running stats in place
+        norm.eval()
+        after = norm(x).data
+        assert not np.array_equal(before, after)
+        assert self._stats_tensor_ids(norm) == ids  # cache survived, values moved
+
+    def test_load_state_dict_visible_through_cache(self):
+        source = BatchNorm2d(4)
+        source.train()
+        source(Tensor(np.random.default_rng(2).normal(size=(8, 4, 3, 3))))
+        target = BatchNorm2d(4)
+        target.eval()
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 4, 3, 3)))
+        before = target(x).data.copy()
+        ids = self._stats_tensor_ids(target)
+        target.load_state_dict(source.state_dict())
+        after = target(x).data
+        assert not np.array_equal(before, after)
+        assert self._stats_tensor_ids(target) == ids
+
+    def test_buffer_replacement_rebuilds_cache(self):
+        norm = BatchNorm2d(4)
+        norm.eval()
+        ids = self._stats_tensor_ids(norm)
+        norm.register_buffer("running_mean", np.full(4, 2.0))
+        assert self._stats_tensor_ids(norm) != ids
+
+    def test_eval_output_matches_manual_normalisation(self):
+        norm = BatchNorm2d(3)
+        norm.train()
+        rng = np.random.default_rng(4)
+        norm(Tensor(rng.normal(size=(16, 3, 4, 4))))
+        norm.eval()
+        x = rng.normal(size=(2, 3, 4, 4))
+        out = norm(Tensor(x)).data
+        mean = norm._buffers["running_mean"].reshape(1, -1, 1, 1)
+        var = norm._buffers["running_var"].reshape(1, -1, 1, 1)
+        expected = (x - mean) / (var + norm.eps) ** 0.5
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+def test_float32_search_runs_end_to_end(tmp_path):
+    """A float32 baseline search completes and yields a finite design.
+
+    Not bit-identical to float64 by design — the point is that the whole
+    pipeline (supernet, gates, losses, optimisers, checkpoint round-trips)
+    tolerates the opt-in policy.  The float64 default is fenced separately
+    by the golden-run suites.
+    """
+    from repro.experiments.runner import Runner
+
+    config = ExperimentConfig(
+        method="baseline",
+        seed=0,
+        retrain_final=False,
+        train_dtype="float32",
+        **TINY_RUN,
+    )
+    result = Runner(base_dir=tmp_path).run(config)
+    assert result is not None
+    assert np.isfinite(result.edap)
+    assert result.op_indices.shape == (TINY_RUN["num_searchable"],)

@@ -38,7 +38,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Benchmarks exempt from the absolute ``min_speedup`` floor (see module
 #: docstring); everything else is gated at ``max(floor, ratio * baseline)``.
-TRACKED_KEYS = frozenset({"supernet_step"})
+#: ``supernet_step`` (fused vs loop) and ``supernet_step_float32`` (float32
+#: vs float64 step) are modest BLAS-bound wins; ``conv_fwd`` measures the
+#: gather-vs-stride-trick im2col, a reordering with no arithmetic to
+#: vectorise away.  ``col2im`` and ``conv_bwd`` keep the hard 2x floor —
+#: losing the scatter-add fold is the regression they exist to catch.
+TRACKED_KEYS = frozenset({"supernet_step", "supernet_step_float32", "conv_fwd"})
 
 
 def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -> list:
