@@ -139,3 +139,47 @@ def legacy_generate_evaluator_dataset(nas_space, hw_space, num_samples, table, r
             hw_labels[field_name][sample_index] = class_index
         metric_targets[sample_index] = encoding.metrics_to_vector(best_metrics)
     return arch_encodings, hw_encodings, hw_labels, metric_targets
+
+
+def legacy_report_scan(root):
+    """Pre-browser report scan, as ``Runner.report`` worked before the
+    incremental results browser: fully parse every ``result.json`` under
+    ``root`` (``SearchResult.from_dict``, numpy arrays and backend config
+    included) in ``rglob`` order, then re-derive the queue state of every
+    direct-child run directory with per-file ``exists`` probes."""
+    import re
+    import time
+    from pathlib import Path
+
+    from repro.core.results import SearchResult
+    from repro.utils.serialization import load_json
+
+    root = Path(root)
+    named = []
+    for path in sorted(root.rglob("result.json")):
+        name = str(path.parent.relative_to(root))
+        named.append((name, SearchResult.from_dict(load_json(path))))
+    status = {}
+    for config_path in sorted(root.glob("*/config.json")):
+        workdir = config_path.parent
+        if (workdir / "result.json").exists():
+            state = "finished"
+        elif (workdir / "LOCK").exists():
+            state = "running" if time.time() - (workdir / "LOCK").stat().st_mtime < 3600 else "stale"
+        elif (workdir / "FAILED.txt").exists():
+            state = "failed"
+        elif (workdir / "checkpoint.json").exists():
+            state = "checkpointed"
+        else:
+            state = "pending"
+        entry = {"state": state}
+        if state in ("checkpointed", "running", "stale", "failed"):
+            try:
+                with (workdir / "checkpoint.json").open("r", encoding="utf-8") as handle:
+                    head = handle.read(256)
+                match = re.search(r'"steps_completed":\s*(\d+)', head)
+                entry["step"] = int(match.group(1)) if match else None
+            except OSError:
+                entry["step"] = None
+        status[workdir.name] = entry
+    return named, status

@@ -346,6 +346,83 @@ def main() -> int:
         f"  ({float64_step/after:7.1f}x)"
     )
 
+    # ------------------------------------------------------------------
+    # 9. Incremental report scanning (the results browser): the legacy
+    #    full-parse report scan over a sweep-sized run tree (every
+    #    result.json through SearchResult.from_dict, per-directory status
+    #    probes) against a warm incremental scan that serves unchanged
+    #    runs from the summary cache (cache load + walk + stats only).
+    # ------------------------------------------------------------------
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from bench_utils import legacy_report_scan
+
+    from repro.experiments.browser import BrowserCache, scan_runs
+    from repro.utils.serialization import save_json
+
+    scan_runs_count = 320 if bench_scale() == "small" else 500
+    # Realistic result payloads: the per-epoch history is what makes a
+    # paper-scale result.json expensive to parse (search_epochs=120 in the
+    # paper's schedule, one logged row per epoch).
+    history = [
+        {
+            "epoch": float(epoch),
+            "lambda_2": 0.05,
+            "train_ce": 2.5 - 0.01 * epoch,
+            "hw_cost": 0.97,
+            "entropy": 1.9,
+        }
+        for epoch in range(120)
+    ]
+    run_payload = {
+        "method": "DANCE (w/ FF)",
+        "op_indices": [6, 6, 2, 3, 6, 2, 6, 4, 6],
+        "accuracy": 0.5,
+        "backend": "eyeriss",
+        "hardware": {"pe_x": 8, "pe_y": 16, "rf_size": 64, "dataflow": "RS"},
+        "metrics": {"latency_ms": 0.44, "energy_mj": 0.45, "area_mm2": 6.9952},
+        "search_seconds": 5.8,
+        "candidates_trained": 1,
+        "history": history,
+    }
+    scan_root = Path(tempfile.mkdtemp(prefix="bench_report_scan_"))
+    try:
+        for index in range(scan_runs_count):
+            workdir = scan_root / f"dance-cifar-seed{index}"
+            save_json(dict(run_payload, accuracy=0.4 + index * 1e-4), workdir / "result.json")
+            save_json(
+                {"method": "dance", "task": "cifar", "backend": "eyeriss", "seed": index},
+                workdir / "config.json",
+            )
+            # Finished runs keep their (multi-megabyte, head-read-only)
+            # checkpoint; a small stand-in keeps the tree realistic.
+            (workdir / "checkpoint.json").write_text(
+                '{"steps_completed": 120, "state": "' + "x" * 2048 + '"}', encoding="utf-8"
+            )
+
+        legacy_report_scan(scan_root)  # warm the page cache for both sides
+        before = _time(lambda: legacy_report_scan(scan_root), repeats=3)
+        cache = BrowserCache(scan_root)
+        cache.save(scan_runs(scan_root, cached={}).summaries)
+
+        def warm_scan() -> None:
+            outcome = scan_runs(scan_root, cached=cache.load())
+            assert outcome.parsed == 0, "warm scan unexpectedly re-parsed"
+
+        after = _time(warm_scan, repeats=3)
+    finally:
+        shutil.rmtree(scan_root, ignore_errors=True)
+    results["report_scan"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "runs": scan_runs_count,
+        "history_epochs": len(history),
+    }
+    print(f"report_scan:          {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
     payload = {
         "benchmark": "costmodel",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

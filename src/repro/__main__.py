@@ -12,7 +12,11 @@ Subcommands (full reference with examples in ``docs/cli.md``):
 * ``report`` — render all saved results as the paper-style tables, plus the
   state of any partial or in-flight sweep (``--pareto`` adds the
   error-vs-EDAP Pareto front, ``--format json`` the machine-readable
-  aggregate, which always includes the Pareto records).
+  aggregate, which always includes the Pareto records).  Scanning is
+  incremental: unchanged runs are served from ``.browser_cache.json``
+  (``--no-cache`` / ``--refresh`` opt out, see ``docs/browser.md``);
+  ``--filter backend=...,task=...`` slices every section and ``--summary``
+  prints a one-shot sweep-progress table instead.
 
 Examples::
 
@@ -27,6 +31,8 @@ Examples::
     python -m repro report
     python -m repro report --pareto
     python -m repro report --format json
+    python -m repro report --summary
+    python -m repro report --filter backend=eyeriss,task=cifar10 --pareto
 """
 
 from __future__ import annotations
@@ -170,6 +176,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ttl used to classify in-flight runs as running vs stale — pass the "
         "value the sweep ran with",
     )
+    report.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a one-shot sweep-progress table (state counts plus "
+        "finished/total per backend-task slice) instead of the result tables",
+    )
+    report.add_argument(
+        "--filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE[,KEY=VALUE]",
+        help="slice the report to matching runs (repeatable); keys: "
+        "backend, task, method, seed, state",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the summary cache (.browser_cache.json): "
+        "a pure full rescan",
+    )
+    report.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore every cached summary, re-parse the whole tree, and rewrite "
+        "the cache (repair path for a cache suspected stale)",
+    )
     return parser
 
 
@@ -247,17 +279,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "report":
-        if args.format == "json":
-            data = runner.report_data(root=args.workdir, lock_ttl=args.lock_ttl)
+        from repro.experiments.browser import parse_filters
+
+        try:
+            filters = parse_filters(args.filter)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        browse_options = dict(
+            root=args.workdir,
+            lock_ttl=args.lock_ttl,
+            use_cache=not args.no_cache,
+            refresh=args.refresh,
+            filters=filters,
+        )
+        if args.summary:
+            print(runner.format_progress(runner.progress_data(**browse_options)))
+        elif args.format == "json":
+            data = runner.report_data(**browse_options)
             # allow_nan=False: report_data nulls non-finite floats, and this
             # guarantees the emitted document stays strict RFC-8259 JSON.
             print(json.dumps(data, indent=2, allow_nan=False))
         else:
-            print(
-                runner.report(
-                    root=args.workdir, lock_ttl=args.lock_ttl, include_pareto=args.pareto
-                )
-            )
+            print(runner.report(include_pareto=args.pareto, **browse_options))
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -15,13 +15,18 @@ and sweep every search method.
   slicing), :class:`~repro.experiments.sweep.WorkQueue` (crash-safe
   file-lock work queue over run directories) and
   :class:`~repro.experiments.sweep.ParallelRunner` (``--jobs N`` workers,
-  results bit-identical to the serial path).
+  results bit-identical to the serial path);
+* :mod:`~repro.experiments.browser` — the incremental read path over run
+  directories: lean per-run summaries behind a versioned mtime/size-keyed
+  on-disk cache, serving ``report`` over thousand-run sweeps without
+  re-parsing unchanged runs (see ``docs/browser.md``).
 
 The ``python -m repro`` CLI (see ``docs/cli.md``) is a thin wrapper over
 this package.
 """
 
 from repro.experiments.base import Searcher
+from repro.experiments.browser import BrowserCache, RunSummary, browse, scan_runs
 from repro.experiments.config import METHODS, ExperimentConfig
 from repro.experiments.factory import (
     ExperimentComponents,
@@ -45,6 +50,10 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "Searcher",
+    "BrowserCache",
+    "RunSummary",
+    "browse",
+    "scan_runs",
     "METHODS",
     "ExperimentConfig",
     "ExperimentComponents",

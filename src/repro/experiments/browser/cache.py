@@ -1,0 +1,102 @@
+"""Versioned on-disk summary cache under ``<runs>/.browser_cache.json``.
+
+The cache is one JSON document::
+
+    {
+      "schema_version": 1,
+      "entries": { "<relpath>": { ...RunSummary.to_dict()... }, ... }
+    }
+
+Invalidation happens at two levels:
+
+* **Schema version** — a cache written by an older (or newer) browser whose
+  ``schema_version`` differs is ignored wholesale: the next scan is cold
+  and atomically rewrites the file in the current schema.  Bump
+  :data:`CACHE_VERSION` whenever :class:`RunSummary`'s fields or semantics
+  change.
+* **Source signature** — each entry carries the ``(mtime_ns, size)`` stat
+  of the run artefacts it was parsed from; the scanner compares it against
+  a fresh stat and re-parses on any mismatch (see ``scanner.scan_runs``).
+
+Robustness rules (asserted by ``tests/test_browser.py``):
+
+* a missing, truncated, garbage or wrong-version cache file degrades to a
+  cold scan — never an exception;
+* individually malformed entries are skipped, the rest are kept;
+* writes go through :func:`repro.utils.serialization.save_json` (atomic
+  temp-file + rename), so concurrent scanners — or a scanner racing a
+  sweep worker — can never observe a partially-written cache;
+* a read-only runs directory silently skips the write: caching is an
+  optimisation, not a requirement.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.experiments.browser.run_summary import RunSummary
+from repro.utils.logging import get_logger
+from repro.utils.serialization import save_json
+
+logger = get_logger("experiments.browser.cache")
+
+#: Bump on any change to the summary record layout or meaning.
+CACHE_VERSION = 1
+CACHE_FILE = ".browser_cache.json"
+
+
+class BrowserCache:
+    """Load/save the per-runs-directory summary cache."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.path = self.root / CACHE_FILE
+
+    def load(self) -> Dict[str, RunSummary]:
+        """Cached summaries, or ``{}`` when the cache is unusable.
+
+        Unusable means: file missing, unreadable, not valid JSON, not the
+        current schema version, or entries that are not a mapping.  Any of
+        those yields a cold scan; the file is repaired by the next save.
+        """
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict) or payload.get("schema_version") != CACHE_VERSION:
+            return {}
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            return {}
+        summaries: Dict[str, RunSummary] = {}
+        for relpath, record in entries.items():
+            try:
+                # The entry key is authoritative for the name; records
+                # written by save() already agree, so the copy is rare.
+                if record.get("name") != relpath:
+                    record = dict(record, name=relpath)
+                summaries[relpath] = RunSummary.from_dict(record)
+            except (TypeError, ValueError, AttributeError):
+                # One poisoned entry must not take down the cache: skip it
+                # (its run is simply re-parsed) and keep the rest.
+                logger.warning("skipping malformed cache entry %r in %s", relpath, self.path)
+        return summaries
+
+    def save(self, summaries: Mapping[str, RunSummary]) -> bool:
+        """Atomically persist ``summaries``; ``False`` if the write failed.
+
+        Failures (read-only directory, disk full) are logged and swallowed:
+        the report that triggered the save still ran from a correct scan.
+        """
+        payload = {
+            "schema_version": CACHE_VERSION,
+            "entries": {relpath: summary.to_dict() for relpath, summary in summaries.items()},
+        }
+        try:
+            save_json(payload, self.path, compact=True)
+        except OSError as error:
+            logger.warning("could not write browser cache %s: %s", self.path, error)
+            return False
+        return True

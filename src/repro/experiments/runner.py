@@ -19,6 +19,7 @@ by ``tests/test_experiments.py``).
 
 from __future__ import annotations
 
+import json
 import math
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -325,12 +326,47 @@ class Runner:
         return results
 
     # ------------------------------------------------------------------
+    # The incremental results browser behind all reporting
+    # ------------------------------------------------------------------
+    def browse(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+        refresh: bool = False,
+        filters: Optional[Dict[str, str]] = None,
+        lock_ttl: Optional[float] = None,
+    ):
+        """Scan ``root`` through the summary cache and apply ``--filter`` slices.
+
+        Returns ``(root, summaries)`` — the resolved root path and the
+        (possibly filtered) relpath-to-:class:`RunSummary` mapping every
+        report surface below is built from.  One call performs at most one
+        directory walk; unchanged runs are served from
+        ``<root>/.browser_cache.json`` without opening their artefacts
+        (see ``docs/browser.md``).
+        """
+        from repro.experiments.browser import browse, filter_summaries
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+
+        root = Path(root) if root is not None else self.base_dir
+        outcome = browse(root, use_cache=use_cache, refresh=refresh)
+        summaries = filter_summaries(
+            outcome.summaries,
+            filters,
+            root,
+            DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl,
+        )
+        return root, summaries
+
+    # ------------------------------------------------------------------
     # Pareto view (error vs EDAP, Figure-5 style)
     # ------------------------------------------------------------------
     def pareto_data(
         self,
         root: Optional[Union[str, Path]] = None,
         named_results: Optional[Sequence[Tuple[str, SearchResult]]] = None,
+        use_cache: bool = True,
+        refresh: bool = False,
     ) -> List[Dict[str, Any]]:
         """Error-vs-EDAP records of every finished run, flagging the front.
 
@@ -341,12 +377,20 @@ class Runner:
         are excluded.  Records are sorted by EDAP, so the surviving points
         read as the Figure-5 front left to right.  ``named_results`` lets a
         caller that already collected the run results reuse them instead of
-        re-reading every ``result.json``.
+        re-scanning; without it the records come from the incremental
+        browser's lean summaries (no ``result.json`` is opened on a warm
+        cache).
         """
         from repro.hwmodel.metrics import HardwareMetrics, pareto_front
 
         if named_results is None:
-            named_results = self.collect_named_results(root)
+            from repro.experiments.browser import results_view
+
+            browse_root, summaries = self.browse(root, use_cache=use_cache, refresh=refresh)
+            named_results = [
+                (name, summary.to_result())
+                for name, summary in results_view(summaries, browse_root)
+            ]
         named = [
             (name, result)
             for name, result in named_results
@@ -407,8 +451,11 @@ class Runner:
         include_status: bool = True,
         lock_ttl: Optional[float] = None,
         include_pareto: bool = False,
+        use_cache: bool = True,
+        refresh: bool = False,
+        filters: Optional[Dict[str, str]] = None,
     ) -> str:
-        """Collect saved results and render the combined report.
+        """Render the combined report from one incremental browser scan.
 
         With ``include_status`` (the default) the report also aggregates
         partial or in-flight sweeps: any run directory under ``root`` that
@@ -416,19 +463,29 @@ class Runner:
         checkpointed / failed / pending), so ``python -m repro report`` is
         useful while a parallel sweep is still executing.  Pass the sweep's
         ``lock_ttl`` so running-vs-stale classification matches the ttl the
-        workers actually used.
+        workers actually used.  ``filters`` slices every section of the
+        report to the matching runs (``--filter backend=...,task=...``);
+        ``use_cache``/``refresh`` control the summary cache (see
+        :meth:`browse`).  On a cold cache the output is byte-identical to
+        the pre-browser full rescan.
         """
-        from repro.experiments.sweep import DEFAULT_LOCK_TTL, format_sweep_status, sweep_status
+        from repro.experiments.browser import results_view, status_view
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL, format_sweep_status
 
-        root = Path(root) if root is not None else self.base_dir
-        named = self.collect_named_results(root)
+        ttl = DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl
+        root, summaries = self.browse(
+            root, use_cache=use_cache, refresh=refresh, filters=filters, lock_ttl=ttl
+        )
+        named = [
+            (name, summary.to_result()) for name, summary in results_view(summaries, root)
+        ]
         report = self.format_report(
             [result for _, result in named], title=f"Results under {root}"
         )
         if include_pareto:
             report += "\n\n" + self.format_pareto(self.pareto_data(named_results=named))
         if include_status:
-            status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
+            status = status_view(summaries, root, ttl)
             if any(entry["state"] != "finished" for entry in status.values()):
                 report += "\n\n" + format_sweep_status(status)
         return report
@@ -437,6 +494,9 @@ class Runner:
         self,
         root: Optional[Union[str, Path]] = None,
         lock_ttl: Optional[float] = None,
+        use_cache: bool = True,
+        refresh: bool = False,
+        filters: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """Machine-readable report: saved results plus sweep/queue status.
 
@@ -446,15 +506,32 @@ class Runner:
         accuracy of ``retrain_final=false`` runs become ``null`` so the
         output stays strict RFC-8259 JSON), the work-queue state of every
         run directory (running / stale / checkpointed / failed / pending /
-        finished), and a per-state summary — the aggregation groundwork for
-        downstream result analytics.
-        """
-        from repro.experiments.sweep import DEFAULT_LOCK_TTL, sweep_status
+        finished / corrupt), and a per-state summary — the aggregation
+        groundwork for downstream result analytics.
 
-        root = Path(root) if root is not None else self.base_dir
-        named = self.collect_named_results(root)
+        The browser scan decides *which* runs appear (and serves the state
+        table from its cache), but the ``results`` array needs the full
+        payloads — ``history``, ``op_indices``, the hardware dict — so each
+        listed ``result.json`` is re-read here; a run whose file vanishes
+        or is corrupted between the scan and the read is skipped rather
+        than crashing the dump.
+        """
+        from repro.experiments.browser import results_view, status_view
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+
+        ttl = DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl
+        root, summaries = self.browse(
+            root, use_cache=use_cache, refresh=refresh, filters=filters, lock_ttl=ttl
+        )
+        named: List[Tuple[str, SearchResult]] = []
+        for name, summary in results_view(summaries, root):
+            path = root / summary.name / RESULT_FILE
+            try:
+                named.append((name, SearchResult.from_dict(load_json(path))))
+            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+                continue
         results = [result for _, result in named]
-        status = sweep_status(root, DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl)
+        status = status_view(summaries, root, ttl)
         states: Dict[str, int] = {}
         for entry in status.values():
             states[entry["state"]] = states.get(entry["state"], 0) + 1
@@ -471,3 +548,78 @@ class Runner:
                 },
             }
         )
+
+    # ------------------------------------------------------------------
+    # Sweep-progress summary (report --summary)
+    # ------------------------------------------------------------------
+    def progress_data(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        lock_ttl: Optional[float] = None,
+        use_cache: bool = True,
+        refresh: bool = False,
+        filters: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        """One-shot sweep-progress aggregation over every scanned run.
+
+        Unlike :meth:`report_data`'s ``runs`` table (direct children with a
+        ``config.json``, mirroring the work queue), this counts *every* run
+        directory the browser discovered at any depth: overall state
+        totals, plus a finished/total breakdown per ``(backend, task)``
+        slice — the at-a-glance answer to "how far along is the sweep?"
+        without rendering a thousand-row table.
+        """
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+
+        ttl = DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl
+        root, summaries = self.browse(
+            root, use_cache=use_cache, refresh=refresh, filters=filters, lock_ttl=ttl
+        )
+        states: Dict[str, int] = {}
+        slices: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for relpath in sorted(summaries):
+            summary = summaries[relpath]
+            state = summary.state(root, ttl)
+            states[state] = states.get(state, 0) + 1
+            key = (summary.backend_label or "?", summary.task or "?")
+            bucket = slices.setdefault(key, {"finished": 0, "total": 0})
+            bucket["total"] += 1
+            if state == "finished":
+                bucket["finished"] += 1
+        return {
+            "root": str(root),
+            "runs": len(summaries),
+            "states": dict(sorted(states.items())),
+            "slices": [
+                {
+                    "backend": backend,
+                    "task": task,
+                    "finished": bucket["finished"],
+                    "total": bucket["total"],
+                }
+                for (backend, task), bucket in sorted(slices.items())
+            ],
+        }
+
+    def format_progress(self, progress: Dict[str, Any]) -> str:
+        """Render :meth:`progress_data` as the ``report --summary`` table."""
+        lines = [f"Sweep progress under {progress['root']}"]
+        if not progress["runs"]:
+            lines.append("(no runs found)")
+            return "\n".join(lines)
+        counts = "  ".join(
+            f"{state}: {count}" for state, count in progress["states"].items()
+        )
+        lines.append(f"runs: {progress['runs']}  {counts}")
+        slices = progress["slices"]
+        if slices:
+            backend_width = max(len("Backend"), *(len(s["backend"]) for s in slices)) + 2
+            task_width = max(len("Task"), *(len(s["task"]) for s in slices)) + 2
+            header = f"{'Backend':<{backend_width}}{'Task':<{task_width}}{'Finished':>10}"
+            lines += ["", header, "-" * len(header)]
+            for entry in slices:
+                done = f"{entry['finished']}/{entry['total']}"
+                lines.append(
+                    f"{entry['backend']:<{backend_width}}{entry['task']:<{task_width}}{done:>10}"
+                )
+        return "\n".join(lines)

@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.core.results import SearchResult
 from repro.experiments.config import METHODS, ExperimentConfig
-from repro.experiments.runner import CHECKPOINT_FILE, CONFIG_FILE, RESULT_FILE, Runner
+from repro.experiments.runner import CHECKPOINT_FILE, RESULT_FILE, Runner
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json
 
@@ -290,56 +290,71 @@ class WorkQueue:
         return {name: item_state(self.workdir(name), self.lock_ttl) for name in self.names}
 
 
-def item_state(workdir: Path, lock_ttl: float = DEFAULT_LOCK_TTL) -> str:
-    """Classify one run directory for status reporting."""
-    workdir = Path(workdir)
-    if (workdir / RESULT_FILE).exists():
-        return "finished"
-    lock = workdir / LOCK_FILE
-    if lock.exists():
-        try:
-            age = time.time() - lock.stat().st_mtime
-        except FileNotFoundError:
-            age = None
-        if age is not None:
-            return "running" if age < lock_ttl else "stale"
-    if (workdir / FAILED_FILE).exists():
+def classify_state(
+    *,
+    has_result: bool,
+    corrupt: bool = False,
+    lock_age: Optional[float] = None,
+    lock_ttl: float = DEFAULT_LOCK_TTL,
+    has_failed: bool = False,
+    has_checkpoint: bool = False,
+) -> str:
+    """The one place a run's queue state is decided.
+
+    Both classification paths feed it: :func:`item_state` stats the run
+    directory live, while the results browser
+    (:mod:`repro.experiments.browser`) supplies cached artefact flags plus
+    a live lock age — keeping the two views agreeing by construction.
+    ``corrupt`` marks a run whose ``result.json`` exists but is unusable
+    (truncated / garbage / missing keys, see ``docs/browser.md``).
+    """
+    if has_result:
+        return "corrupt" if corrupt else "finished"
+    if lock_age is not None:
+        return "running" if lock_age < lock_ttl else "stale"
+    if has_failed:
         return "failed"
-    if (workdir / CHECKPOINT_FILE).exists():
+    if has_checkpoint:
         return "checkpointed"
     return "pending"
 
 
-def _checkpoint_step(workdir: Path) -> Optional[int]:
-    """``steps_completed`` of a run's checkpoint, without parsing the whole file.
-
-    Checkpoints are megabytes of JSON (network weights); ``steps_completed``
-    is written first (dict insertion order), so the head of the file is
-    enough.
-    """
+def item_state(workdir: Path, lock_ttl: float = DEFAULT_LOCK_TTL) -> str:
+    """Classify one run directory for status reporting (live stats)."""
+    workdir = Path(workdir)
+    lock_age: Optional[float] = None
     try:
-        with (Path(workdir) / CHECKPOINT_FILE).open("r", encoding="utf-8") as handle:
-            head = handle.read(256)
+        lock_age = time.time() - (workdir / LOCK_FILE).stat().st_mtime
     except OSError:
-        return None
-    match = re.search(r'"steps_completed":\s*(\d+)', head)
-    return int(match.group(1)) if match else None
+        pass
+    return classify_state(
+        has_result=(workdir / RESULT_FILE).exists(),
+        lock_age=lock_age,
+        lock_ttl=lock_ttl,
+        has_failed=(workdir / FAILED_FILE).exists(),
+        has_checkpoint=(workdir / CHECKPOINT_FILE).exists(),
+    )
 
 
 def sweep_status(
-    base_dir: Union[str, Path], lock_ttl: float = DEFAULT_LOCK_TTL
+    base_dir: Union[str, Path],
+    lock_ttl: float = DEFAULT_LOCK_TTL,
+    use_cache: bool = True,
+    refresh: bool = False,
 ) -> Dict[str, Dict[str, Any]]:
-    """State of every run directory (``config.json`` marker) under ``base_dir``."""
+    """State of every run directory (``config.json`` marker) under ``base_dir``.
+
+    Served by the incremental results browser: artefact flags and the
+    checkpoint step come from the mtime-cached summaries, only each run's
+    ``LOCK`` file is statted live (its heartbeat mtime must never be
+    cached).  ``use_cache=False`` forces a cold, cache-less scan;
+    ``refresh=True`` re-parses everything and rewrites the cache.
+    """
+    from repro.experiments.browser import browse, status_view
+
     base_dir = Path(base_dir)
-    status: Dict[str, Dict[str, Any]] = {}
-    for config_path in sorted(base_dir.glob(f"*/{CONFIG_FILE}")):
-        workdir = config_path.parent
-        state = item_state(workdir, lock_ttl)
-        entry: Dict[str, Any] = {"state": state}
-        if state in ("checkpointed", "running", "stale", "failed"):
-            entry["step"] = _checkpoint_step(workdir)
-        status[workdir.name] = entry
-    return status
+    outcome = browse(base_dir, use_cache=use_cache, refresh=refresh)
+    return status_view(outcome.summaries, base_dir, lock_ttl)
 
 
 def format_sweep_status(status: Mapping[str, Mapping[str, Any]]) -> str:

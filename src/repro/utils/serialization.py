@@ -45,13 +45,15 @@ class _NumpyEncoder(json.JSONEncoder):
         return super().default(o)
 
 
-def save_json(obj: Any, path: Union[str, Path]) -> Path:
+def save_json(obj: Any, path: Union[str, Path], compact: bool = False) -> Path:
     """Serialise ``obj`` to ``path`` as pretty-printed JSON and return the path.
 
     Written atomically (temp file + rename): the work queue of
     :mod:`repro.experiments.sweep` treats the existence of ``result.json``
     as the run's done marker, so a worker killed mid-write must never leave
-    a truncated file behind.
+    a truncated file behind.  ``compact=True`` drops the pretty-printing
+    whitespace — used for machine-only files like the results browser's
+    summary cache, where parse speed and size matter more than diffability.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -59,7 +61,10 @@ def save_json(obj: Any, path: Union[str, Path]) -> Path:
     # pathological lock takeover) each rename a complete file into place.
     temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
     with temporary.open("w", encoding="utf-8") as handle:
-        json.dump(obj, handle, indent=2, cls=_NumpyEncoder)
+        if compact:
+            json.dump(obj, handle, separators=(",", ":"), cls=_NumpyEncoder)
+        else:
+            json.dump(obj, handle, indent=2, cls=_NumpyEncoder)
     temporary.replace(path)
     return path
 

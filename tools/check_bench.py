@@ -45,6 +45,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: losing the scatter-add fold is the regression they exist to catch.
 TRACKED_KEYS = frozenset({"supernet_step", "supernet_step_float32", "conv_fwd"})
 
+#: Per-benchmark absolute floors that *override* the default ``min_speedup``
+#: for keys whose acceptance criterion is stronger than the generic 2x.
+#: ``report_scan`` is the results browser's warm-vs-cold scan: a warm report
+#: over a sweep-sized tree must stay at least 10x faster than a full
+#: re-parse, or the incremental cache has effectively stopped working.
+KEY_FLOORS = {"report_scan": 10.0}
+
 
 def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -> list:
     """Per-benchmark ``(key, fresh_speedup, required, passed)`` records.
@@ -61,7 +68,7 @@ def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -
             # Tracked benchmark: only the relative-regression gate applies.
             required = min_ratio * baseline_speedup
         else:
-            required = max(min_speedup, min_ratio * baseline_speedup)
+            required = max(KEY_FLOORS.get(key, min_speedup), min_ratio * baseline_speedup)
         if key not in fresh_results:
             rows.append((key, 0.0, required, False))
             continue
