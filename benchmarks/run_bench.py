@@ -423,6 +423,71 @@ def main() -> int:
     }
     print(f"report_scan:          {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
 
+    # ------------------------------------------------------------------
+    # 10. The serve API (repro.serve over repro.api): a cold HTTP report
+    #     (?refresh=1 re-parses every run and rewrites the browser cache)
+    #     against a warm request served from the summary cache, and a
+    #     cold /v1/cost query (clears the residency so the CostTable is
+    #     rebuilt) against a warm resident-table lookup.
+    # ------------------------------------------------------------------
+    import http.client
+    import threading
+
+    from repro.serve import create_server
+
+    serve_runs_count = 96 if bench_scale() == "small" else 200
+    serve_root = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    server = None
+    try:
+        for index in range(serve_runs_count):
+            workdir = serve_root / f"dance-cifar-seed{index}"
+            save_json(dict(run_payload, accuracy=0.4 + index * 1e-4), workdir / "result.json")
+            save_json(
+                {"method": "dance", "task": "cifar", "backend": "eyeriss", "seed": index},
+                workdir / "config.json",
+            )
+        server = create_server(serve_root, port=0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+
+        def fetch(path: str) -> None:
+            conn = http.client.HTTPConnection(*server.server_address)
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = response.read()
+                assert response.status == 200, body[:200]
+            finally:
+                conn.close()
+
+        fetch("/v1/report")  # prime the browser cache and the page cache
+        before = _time(lambda: fetch("/v1/report?refresh=1"), repeats=3)
+        after = _time(lambda: fetch("/v1/report"), repeats=3)
+        results["serve_report"] = {
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+            "runs": serve_runs_count,
+        }
+        print(f"serve_report:         {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+        def cold_cost_query() -> None:
+            server.cost_tables.clear()
+            fetch("/v1/cost")
+
+        before = _time(cold_cost_query, repeats=3)
+        after = _time(lambda: fetch("/v1/cost"), repeats=3)
+        results["serve_cost_query"] = {
+            "before_s": before,
+            "after_s": after,
+            "speedup": before / after,
+        }
+        print(f"serve_cost_query:     {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        shutil.rmtree(serve_root, ignore_errors=True)
+
     payload = {
         "benchmark": "costmodel",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

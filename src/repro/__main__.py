@@ -16,7 +16,13 @@ Subcommands (full reference with examples in ``docs/cli.md``):
   incremental: unchanged runs are served from ``.browser_cache.json``
   (``--no-cache`` / ``--refresh`` opt out, see ``docs/browser.md``);
   ``--filter backend=...,task=...`` slices every section and ``--summary``
-  prints a one-shot sweep-progress table instead.
+  prints a one-shot sweep-progress table instead.  With ``--format json``
+  every payload is a versioned :mod:`repro.api` document, byte-identical
+  to the matching ``serve`` endpoint;
+* ``serve``  — long-lived HTTP/JSON API over a runs directory: the report
+  documents, per-run status, ``/v1/cost`` queries from resident cost
+  tables and ``POST /v1/jobs`` job submission (see ``docs/serve.md``).
+  Submitted jobs are drained by ``sweep --queue`` workers.
 
 Examples::
 
@@ -33,12 +39,13 @@ Examples::
     python -m repro report --format json
     python -m repro report --summary
     python -m repro report --filter backend=eyeriss,task=cifar10 --pareto
+    python -m repro serve --runs runs --port 8000
+    python -m repro sweep --queue --jobs 2
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import List, Optional
 
@@ -152,6 +159,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="heartbeat silence after which a crashed worker's claim is re-claimable "
         f"(default: {DEFAULT_LOCK_TTL:.0f})",
     )
+    sweep.add_argument(
+        "--queue",
+        action="store_true",
+        help="ignore the grid flags and drain the pending on-disk runs under "
+        "--runs-dir instead (config.json without result.json — e.g. jobs "
+        "submitted via the serve API)",
+    )
     _add_common_run_options(sweep)
 
     report = subparsers.add_parser("report", help="render all saved results as tables")
@@ -202,6 +216,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore every cached summary, re-parse the whole tree, and rewrite "
         "the cache (repair path for a cache suspected stale)",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve reports, cost queries and job submission over HTTP"
+    )
+    serve.add_argument(
+        "--runs", help="runs directory to serve (default: --runs-dir)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="address to bind (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="port to bind; 0 picks a free port (default: 8000)"
+    )
+    serve.add_argument(
+        "--lock-ttl",
+        type=float,
+        default=DEFAULT_LOCK_TTL,
+        metavar="SECONDS",
+        help="ttl used to classify in-flight runs as running vs stale "
+        f"(default: {DEFAULT_LOCK_TTL:.0f})",
+    )
     return parser
 
 
@@ -248,15 +283,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
-        config = _config_from_args(args)
         try:
-            plan = SweepPlan.from_grid(
-                config,
-                methods=args.methods,
-                seeds=args.seeds,
-                backends=_name_list(args.backends, "--backends"),
-                tasks=_name_list(args.tasks, "--tasks"),
-            )
+            if args.queue:
+                plan = SweepPlan.from_directory(runner.base_dir)
+                if not len(plan):
+                    print(f"No pending runs under {runner.base_dir}; nothing to do.")
+                    return 0
+                title = f"Queued runs ({len(plan)})"
+            else:
+                plan = SweepPlan.from_grid(
+                    _config_from_args(args),
+                    methods=args.methods,
+                    seeds=args.seeds,
+                    backends=_name_list(args.backends, "--backends"),
+                    tasks=_name_list(args.tasks, "--tasks"),
+                )
+                title = f"Sweep ({len(plan)} runs)"
             if args.shard:
                 plan = plan.shard(*parse_shard(args.shard))
         except ValueError as error:
@@ -266,7 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             base_dir=runner.base_dir,
             jobs=args.jobs,
             lock_ttl=args.lock_ttl,
-            title=f"Sweep ({len(plan)} runs)",
+            title=title,
         )
         print(outcome.report_path.read_text(encoding="utf-8").rstrip())
         print(f"Report saved to {outcome.report_path}")
@@ -292,15 +334,42 @@ def main(argv: Optional[List[str]] = None) -> int:
             refresh=args.refresh,
             filters=filters,
         )
-        if args.summary:
+        if args.format == "json":
+            from repro import api
+
+            # One repro.api document per surface, rendered through the
+            # shared strict encoder — byte-identical to the corresponding
+            # `serve` endpoint body on the same runs directory.
+            document_options = dict(browse_options)
+            document_options["root"] = args.workdir or runner.base_dir
+            if args.summary:
+                print(api.summary_document(**document_options).render())
+            elif args.pareto:
+                print(api.pareto_document(**document_options).render())
+            else:
+                print(api.report_document(**document_options).render())
+        elif args.summary:
             print(runner.format_progress(runner.progress_data(**browse_options)))
-        elif args.format == "json":
-            data = runner.report_data(**browse_options)
-            # allow_nan=False: report_data nulls non-finite floats, and this
-            # guarantees the emitted document stays strict RFC-8259 JSON.
-            print(json.dumps(data, indent=2, allow_nan=False))
         else:
             print(runner.report(include_pareto=args.pareto, **browse_options))
+        return 0
+
+    if args.command == "serve":
+        from repro.serve import create_server
+
+        server = create_server(
+            args.runs or args.runs_dir,
+            host=args.host,
+            port=args.port,
+            lock_ttl=args.lock_ttl,
+        )
+        print(f"Serving {server.runs_dir} on {server.url} (Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
         return 0
 
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

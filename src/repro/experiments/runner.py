@@ -19,8 +19,6 @@ by ``tests/test_experiments.py``).
 
 from __future__ import annotations
 
-import json
-import math
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,20 +38,10 @@ RESULT_FILE = "result.json"
 
 
 def _json_safe(value: Any) -> Any:
-    """Replace non-finite floats with ``None``, recursively.
+    """Deprecated alias of :func:`repro.utils.serialization.json_safe`."""
+    from repro.utils.serialization import json_safe
 
-    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
-    (invalid per RFC 8259), which non-Python consumers of the machine-
-    readable report reject outright.  Accuracy is legitimately NaN for
-    ``retrain_final=false`` runs, so this must be handled, not forbidden.
-    """
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    if isinstance(value, dict):
-        return {key: _json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(item) for item in value]
-    return value
+    return json_safe(value)
 
 
 class Runner:
@@ -368,54 +356,20 @@ class Runner:
         use_cache: bool = True,
         refresh: bool = False,
     ) -> List[Dict[str, Any]]:
-        """Error-vs-EDAP records of every finished run, flagging the front.
+        """Deprecated alias: the records now come from :mod:`repro.api`.
 
-        Dominance is computed with :func:`repro.hwmodel.metrics.pareto_front`
-        over ``(error, EDAP)`` — a run survives unless another run is no
-        worse on both axes and strictly better on one.  Runs whose accuracy
-        is not finite (``retrain_final=false``) have no error coordinate and
-        are excluded.  Records are sorted by EDAP, so the surviving points
-        read as the Figure-5 front left to right.  ``named_results`` lets a
-        caller that already collected the run results reuse them instead of
-        re-scanning; without it the records come from the incremental
-        browser's lean summaries (no ``result.json`` is opened on a warm
-        cache).
+        ``named_results`` lets a caller that already collected the run
+        results reuse them instead of re-scanning; without it the records
+        come from :func:`repro.api.pareto_document` over the incremental
+        browser (no ``result.json`` is opened on a warm cache).
         """
-        from repro.hwmodel.metrics import HardwareMetrics, pareto_front
+        from repro import api
 
-        if named_results is None:
-            from repro.experiments.browser import results_view
-
-            browse_root, summaries = self.browse(root, use_cache=use_cache, refresh=refresh)
-            named_results = [
-                (name, summary.to_result())
-                for name, summary in results_view(summaries, browse_root)
-            ]
-        named = [
-            (name, result)
-            for name, result in named_results
-            if math.isfinite(result.accuracy)
-        ]
-        # Index payloads keep front membership per *run*, immune to any name
-        # collision between results passed in by a caller.
-        points = [
-            (index, HardwareMetrics(result.error, result.edap, 0.0))
-            for index, (_, result) in enumerate(named)
-        ]
-        front = {index for index, _ in pareto_front(points)}
-        records = [
-            {
-                "run": name,
-                "method": result.method,
-                "backend": result.backend_name,
-                "accuracy": result.accuracy,
-                "error": result.error,
-                "edap": result.edap,
-                "on_front": index in front,
-            }
-            for index, (name, result) in enumerate(named)
-        ]
-        return sorted(records, key=lambda record: (record["edap"], record["error"]))
+        if named_results is not None:
+            return api.pareto_records(named_results)
+        return api.pareto_document(
+            self.base_dir if root is None else root, use_cache=use_cache, refresh=refresh
+        ).records
 
     def format_pareto(self, records: Sequence[Dict[str, Any]]) -> str:
         """Render the Pareto records as a Figure-5 style text table."""
@@ -498,56 +452,22 @@ class Runner:
         refresh: bool = False,
         filters: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
-        """Machine-readable report: saved results plus sweep/queue status.
+        """Deprecated alias of :func:`repro.api.report_document` (as a dict).
 
         The JSON-safe dict behind ``python -m repro report --format json``:
-        every saved result (via :meth:`SearchResult.to_dict`, so finite
-        metrics survive bit-exactly; non-finite floats such as the NaN
-        accuracy of ``retrain_final=false`` runs become ``null`` so the
-        output stays strict RFC-8259 JSON), the work-queue state of every
-        run directory (running / stale / checkpointed / failed / pending /
-        finished / corrupt), and a per-state summary — the aggregation
-        groundwork for downstream result analytics.
-
-        The browser scan decides *which* runs appear (and serves the state
-        table from its cache), but the ``results`` array needs the full
-        payloads — ``history``, ``op_indices``, the hardware dict — so each
-        listed ``result.json`` is re-read here; a run whose file vanishes
-        or is corrupted between the scan and the read is skipped rather
-        than crashing the dump.
+        every saved result, the work-queue state of every run directory,
+        the Pareto records and a per-state summary — see the facade for
+        the full shape contract (``schema_version`` policy included).
         """
-        from repro.experiments.browser import results_view, status_view
-        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+        from repro import api
 
-        ttl = DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl
-        root, summaries = self.browse(
-            root, use_cache=use_cache, refresh=refresh, filters=filters, lock_ttl=ttl
-        )
-        named: List[Tuple[str, SearchResult]] = []
-        for name, summary in results_view(summaries, root):
-            path = root / summary.name / RESULT_FILE
-            try:
-                named.append((name, SearchResult.from_dict(load_json(path))))
-            except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-                continue
-        results = [result for _, result in named]
-        status = status_view(summaries, root, ttl)
-        states: Dict[str, int] = {}
-        for entry in status.values():
-            states[entry["state"]] = states.get(entry["state"], 0) + 1
-        return _json_safe(
-            {
-                "root": str(root),
-                "results": [result.to_dict() for result in results],
-                "pareto": self.pareto_data(named_results=named),
-                "runs": status,
-                "summary": {
-                    "results": len(results),
-                    "run_dirs": len(status),
-                    "states": states,
-                },
-            }
-        )
+        return api.report_document(
+            self.base_dir if root is None else root,
+            lock_ttl=lock_ttl,
+            use_cache=use_cache,
+            refresh=refresh,
+            filters=filters,
+        ).to_dict()
 
     # ------------------------------------------------------------------
     # Sweep-progress summary (report --summary)
@@ -560,46 +480,16 @@ class Runner:
         refresh: bool = False,
         filters: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
-        """One-shot sweep-progress aggregation over every scanned run.
+        """Deprecated alias of :func:`repro.api.summary_document` (as a dict)."""
+        from repro import api
 
-        Unlike :meth:`report_data`'s ``runs`` table (direct children with a
-        ``config.json``, mirroring the work queue), this counts *every* run
-        directory the browser discovered at any depth: overall state
-        totals, plus a finished/total breakdown per ``(backend, task)``
-        slice — the at-a-glance answer to "how far along is the sweep?"
-        without rendering a thousand-row table.
-        """
-        from repro.experiments.sweep import DEFAULT_LOCK_TTL
-
-        ttl = DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl
-        root, summaries = self.browse(
-            root, use_cache=use_cache, refresh=refresh, filters=filters, lock_ttl=ttl
-        )
-        states: Dict[str, int] = {}
-        slices: Dict[Tuple[str, str], Dict[str, int]] = {}
-        for relpath in sorted(summaries):
-            summary = summaries[relpath]
-            state = summary.state(root, ttl)
-            states[state] = states.get(state, 0) + 1
-            key = (summary.backend_label or "?", summary.task or "?")
-            bucket = slices.setdefault(key, {"finished": 0, "total": 0})
-            bucket["total"] += 1
-            if state == "finished":
-                bucket["finished"] += 1
-        return {
-            "root": str(root),
-            "runs": len(summaries),
-            "states": dict(sorted(states.items())),
-            "slices": [
-                {
-                    "backend": backend,
-                    "task": task,
-                    "finished": bucket["finished"],
-                    "total": bucket["total"],
-                }
-                for (backend, task), bucket in sorted(slices.items())
-            ],
-        }
+        return api.summary_document(
+            self.base_dir if root is None else root,
+            lock_ttl=lock_ttl,
+            use_cache=use_cache,
+            refresh=refresh,
+            filters=filters,
+        ).to_dict()
 
     def format_progress(self, progress: Dict[str, Any]) -> str:
         """Render :meth:`progress_data` as the ``report --summary`` table."""

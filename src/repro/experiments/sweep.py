@@ -38,7 +38,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from repro.core.results import SearchResult
 from repro.experiments.config import METHODS, ExperimentConfig
-from repro.experiments.runner import CHECKPOINT_FILE, RESULT_FILE, Runner
+from repro.experiments.runner import CHECKPOINT_FILE, CONFIG_FILE, RESULT_FILE, Runner
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json
 
@@ -116,6 +116,41 @@ class SweepPlan:
         if duplicates:
             raise ValueError(f"sweep grid maps several runs to the same directory: {sorted(duplicates)}")
         return cls(items)
+
+    @classmethod
+    def from_directory(cls, base_dir: Union[str, Path]) -> "SweepPlan":
+        """Plan over the pending on-disk runs already queued under ``base_dir``.
+
+        A pending run is a direct child holding a ``config.json`` but no
+        ``result.json`` — exactly what ``POST /v1/jobs`` (:mod:`repro.serve`)
+        writes — so ``sweep --queue`` workers drain submitted jobs through
+        the same claim / heartbeat / complete cycle as grid sweeps.
+        Directories whose name disagrees with their config's canonical name
+        are skipped (a renamed directory would otherwise execute under a
+        name no status query can find), as are unparseable configs (they
+        stay visible as ``corrupt``/``pending`` in reports rather than
+        crashing the worker).
+        """
+        base_dir = Path(base_dir)
+        items: List[WorkItem] = []
+        for config_path in sorted(base_dir.glob(f"*/{CONFIG_FILE}")):
+            workdir = config_path.parent
+            if (workdir / RESULT_FILE).exists():
+                continue
+            try:
+                config = ExperimentConfig.load(config_path)
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                logger.warning("skipping %s: unreadable or invalid config", config_path)
+                continue
+            if config.name != workdir.name:
+                logger.warning(
+                    "skipping %s: directory name disagrees with config name %r",
+                    workdir,
+                    config.name,
+                )
+                continue
+            items.append(WorkItem(config))
+        return cls(tuple(items))
 
     def shard(self, index: int, count: int) -> "SweepPlan":
         """The ``index``-th (1-based) of ``count`` disjoint round-robin slices.
@@ -344,17 +379,18 @@ def sweep_status(
 ) -> Dict[str, Dict[str, Any]]:
     """State of every run directory (``config.json`` marker) under ``base_dir``.
 
-    Served by the incremental results browser: artefact flags and the
+    Served by the incremental results browser via the :mod:`repro.api`
+    facade (:func:`repro.api.run_states`): artefact flags and the
     checkpoint step come from the mtime-cached summaries, only each run's
     ``LOCK`` file is statted live (its heartbeat mtime must never be
     cached).  ``use_cache=False`` forces a cold, cache-less scan;
     ``refresh=True`` re-parses everything and rewrites the cache.
     """
-    from repro.experiments.browser import browse, status_view
+    from repro import api
 
-    base_dir = Path(base_dir)
-    outcome = browse(base_dir, use_cache=use_cache, refresh=refresh)
-    return status_view(outcome.summaries, base_dir, lock_ttl)
+    return api.run_states(
+        Path(base_dir), lock_ttl=lock_ttl, use_cache=use_cache, refresh=refresh
+    )
 
 
 def format_sweep_status(status: Mapping[str, Mapping[str, Any]]) -> str:

@@ -35,7 +35,12 @@ from repro.hwmodel.backends import (
     get_backend,
     register_backend,
 )
-from repro.hwmodel.cost_model import AcceleratorCostModel, CostTable, LayerCostReport
+from repro.hwmodel.cost_model import (
+    AcceleratorCostModel,
+    CostTable,
+    LayerCostReport,
+    ResidentCostTables,
+)
 from repro.hwmodel.dataflow import (
     MappingBatch,
     MappingResult,
@@ -79,6 +84,7 @@ __all__ = [
     "AcceleratorCostModel",
     "CostTable",
     "LayerCostReport",
+    "ResidentCostTables",
     "MappingBatch",
     "MappingResult",
     "analyze_mapping",

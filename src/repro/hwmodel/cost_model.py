@@ -37,9 +37,10 @@ to the pre-backend implementation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -510,3 +511,62 @@ class CostTable:
         latency, energy, area = self.metrics_per_config(op_indices)
         config_index = self.config_index(config)
         return HardwareMetrics(latency[config_index], energy[config_index], area[config_index])
+
+
+class ResidentCostTables:
+    """Thread-safe, build-once residency for :class:`CostTable` instances.
+
+    Long-lived processes — ``python -m repro serve`` above all — answer
+    per-layer/EDAP cost queries straight from resident tables: the first
+    query for a ``(backend, task, preset)`` key pays the one-time table
+    build, every later query is a ~µs lookup.  The registry is deliberately
+    key-agnostic (any hashable key, a caller-supplied builder), so it can
+    also keep evaluator or portfolio tables resident later.
+
+    Concurrency contract: one global lock guards the dict, one lock *per
+    key* guards its build — concurrent requests for the same key build the
+    table exactly once (the losers block until it is resident), while
+    requests for different keys build in parallel.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[Hashable, CostTable] = {}
+        self._build_locks: Dict[Hashable, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._builds = 0
+        self._hits = 0
+
+    def get(self, key: Hashable, builder: Callable[[], CostTable]) -> CostTable:
+        """The resident table for ``key``, building it via ``builder`` once."""
+        with self._lock:
+            table = self._tables.get(key)
+            if table is not None:
+                self._hits += 1
+                return table
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                table = self._tables.get(key)
+                if table is not None:
+                    self._hits += 1
+                    return table
+            table = builder()
+            with self._lock:
+                self._tables[key] = table
+                self._builds += 1
+        return table
+
+    def clear(self) -> None:
+        """Drop every resident table (they rebuild on next request)."""
+        with self._lock:
+            self._tables.clear()
+            self._build_locks.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """``{"resident": ..., "builds": ..., "hits": ...}`` counters."""
+        with self._lock:
+            return {"resident": len(self._tables), "builds": self._builds, "hits": self._hits}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)

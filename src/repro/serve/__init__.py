@@ -1,0 +1,14 @@
+"""``repro.serve`` — co-exploration results and cost queries over HTTP.
+
+A stdlib-only JSON API (``http.server.ThreadingHTTPServer``; no third-party
+dependency) started via ``python -m repro serve --runs DIR --port P``.  The
+read endpoints are the :mod:`repro.api` documents rendered byte-identically
+to their CLI counterparts; ``GET /v1/cost`` answers per-layer/EDAP queries
+from lazily-built resident cost tables; ``POST /v1/jobs`` feeds the
+crash-safe work queue drained by ``sweep --queue`` workers.  Endpoint
+reference and curl examples in ``docs/serve.md``.
+"""
+
+from repro.serve.app import ReproServer, create_server
+
+__all__ = ["ReproServer", "create_server"]

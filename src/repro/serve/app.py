@@ -1,0 +1,259 @@
+"""The HTTP layer of ``python -m repro serve``.
+
+Design rules:
+
+* **Thin.**  Every response body is a :mod:`repro.api` document rendered by
+  the shared strict encoder plus one trailing newline — the handler does
+  routing, query parsing and status codes, nothing else.  ``GET
+  /v1/report`` is therefore byte-identical to ``python -m repro report
+  --format json`` on the same runs directory (``print`` adds the same
+  newline).
+* **Threaded, not stateful.**  ``ThreadingHTTPServer`` gives one thread per
+  request; all shared mutable state lives in battle-tested layers below
+  (the browser cache writes atomically with per-thread temp names, the
+  work queue claims via ``O_EXCL`` locks, resident cost tables build under
+  a per-key lock).  Handlers themselves keep no state.
+* **Errors are documents too.**  Every non-2xx body is
+  ``{"schema_version": ..., "error": ...}`` through the same encoder, and
+  unknown names answer with the repository's canonical did-you-mean hints.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro import api
+from repro.utils.logging import get_logger
+from repro.utils.serialization import dumps_strict
+from repro.utils.text import did_you_mean as _did_you_mean
+
+logger = get_logger("serve")
+
+#: Query keys accepted by the report-family endpoints: the ``--filter``
+#: slice keys plus the cache controls (mirroring ``--refresh``/``--no-cache``).
+_REPORT_PARAMS = ("backend", "task", "method", "seed", "state", "refresh", "cache")
+_COST_FIXED_PARAMS = ("backend", "task", "hw_space", "arch")
+
+_ENDPOINTS = (
+    "GET /v1/report",
+    "GET /v1/pareto",
+    "GET /v1/summary",
+    "GET /v1/runs/{name}",
+    "GET /v1/cost",
+    "POST /v1/jobs",
+    "GET /v1/jobs/{name}",
+)
+
+
+class _RequestError(Exception):
+    """A client error carrying its HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _truthy(raw: str) -> bool:
+    return raw.lower() not in ("0", "false", "no", "off", "")
+
+
+class ReproServer(ThreadingHTTPServer):
+    """One thread per request; shared state is the runs dir + resident tables."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        server_address: Tuple[str, int],
+        runs_dir: Union[str, Path],
+        lock_ttl: Optional[float] = None,
+    ) -> None:
+        super().__init__(server_address, _Handler)
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+        from repro.hwmodel.cost_model import ResidentCostTables
+
+        self.runs_dir = Path(runs_dir)
+        self.lock_ttl = DEFAULT_LOCK_TTL if lock_ttl is None else float(lock_ttl)
+        self.cost_tables = ResidentCostTables()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def create_server(
+    runs_dir: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    lock_ttl: Optional[float] = None,
+) -> ReproServer:
+    """Bind a :class:`ReproServer` (``port=0`` picks a free port for tests)."""
+    return ReproServer((host, port), runs_dir, lock_ttl=lock_ttl)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer  # narrowed from BaseHTTPRequestHandler's annotation
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002 - stdlib signature
+        logger.info("%s %s", self.address_string(), format % args)
+
+    def _send_document(self, document: api._Document, status: int = 200) -> None:
+        self._send_json(document.render(), status)
+
+    def _send_json(self, rendered: str, status: int) -> None:
+        body = (rendered + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_document(self, status: int, message: str) -> None:
+        self._send_json(
+            dumps_strict({"schema_version": api.SCHEMA_VERSION, "error": message}), status
+        )
+
+    def _query(self) -> Dict[str, str]:
+        """The query string as a flat dict (last value of a repeated key wins)."""
+        parsed = parse_qs(urlsplit(self.path).query, keep_blank_values=True)
+        return {key: values[-1] for key, values in parsed.items()}
+
+    def _report_options(self) -> Dict[str, Any]:
+        """Translate report-family query params into :mod:`repro.api` kwargs."""
+        filters: Dict[str, str] = {}
+        use_cache, refresh = True, False
+        for key, value in self._query().items():
+            if key == "refresh":
+                refresh = _truthy(value)
+            elif key == "cache":
+                use_cache = _truthy(value)
+            elif key in _REPORT_PARAMS:
+                filters[key] = value
+            else:
+                raise _RequestError(
+                    400,
+                    f"unknown query parameter {key!r}; expected one of "
+                    f"{list(_REPORT_PARAMS)}{_did_you_mean(key, _REPORT_PARAMS)}",
+                )
+        return {
+            "lock_ttl": self.server.lock_ttl,
+            "use_cache": use_cache,
+            "refresh": refresh,
+            "filters": filters or None,
+        }
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            self._route_get()
+        except _RequestError as error:
+            self._send_error_document(error.status, str(error))
+        except api.UnknownRunError as error:
+            self._send_error_document(404, str(error))
+        except ValueError as error:
+            self._send_error_document(400, str(error))
+        except Exception as error:  # the server must outlive any one request
+            logger.exception("GET %s failed", self.path)
+            self._send_error_document(500, f"internal error: {error}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            self._route_post()
+        except _RequestError as error:
+            self._send_error_document(error.status, str(error))
+        except api.JobConflictError as error:
+            self._send_error_document(409, str(error))
+        except ValueError as error:
+            self._send_error_document(400, str(error))
+        except Exception as error:
+            logger.exception("POST %s failed", self.path)
+            self._send_error_document(500, f"internal error: {error}")
+
+    def _route_get(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        runs = self.server.runs_dir
+        if path == "/":
+            self._send_json(
+                dumps_strict(
+                    {"schema_version": api.SCHEMA_VERSION, "endpoints": list(_ENDPOINTS)}
+                ),
+                200,
+            )
+        elif path == "/v1/report":
+            self._send_document(api.report_document(runs, **self._report_options()))
+        elif path == "/v1/pareto":
+            self._send_document(api.pareto_document(runs, **self._report_options()))
+        elif path == "/v1/summary":
+            self._send_document(api.summary_document(runs, **self._report_options()))
+        elif path.startswith("/v1/runs/"):
+            name = path[len("/v1/runs/") :]
+            self._send_document(
+                api.run_document(runs, name, lock_ttl=self.server.lock_ttl)
+            )
+        elif path.startswith("/v1/jobs/"):
+            name = path[len("/v1/jobs/") :]
+            self._send_document(
+                api.job_document(runs, name, lock_ttl=self.server.lock_ttl)
+            )
+        elif path == "/v1/cost":
+            self._send_document(self._cost_document())
+        else:
+            raise _RequestError(
+                404,
+                f"unknown endpoint {path!r}; available: {list(_ENDPOINTS)}"
+                f"{_did_you_mean(path, [e.split(' ', 1)[1] for e in _ENDPOINTS])}",
+            )
+
+    def _cost_document(self) -> api.CostDocument:
+        query = self._query()
+        backend = query.pop("backend", "eyeriss")
+        task = query.pop("task", "cifar")
+        hw_space = query.pop("hw_space", "tiny")
+        arch = None
+        raw_arch = query.pop("arch", None)
+        if raw_arch is not None:
+            try:
+                arch = [int(token) for token in raw_arch.split(",") if token.strip()]
+            except ValueError:
+                raise _RequestError(
+                    400, f"arch expects comma-separated integers, got {raw_arch!r}"
+                ) from None
+        # Whatever remains constrains backend design fields; api.cost_document
+        # validates the names against the backend's space (with hints).
+        return api.cost_document(
+            backend=backend,
+            task=task,
+            hw_space=hw_space,
+            arch=arch,
+            constraints=query or None,
+            tables=self.server.cost_tables,
+        )
+
+    def _route_post(self) -> None:
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/v1/jobs":
+            raise _RequestError(404, f"unknown POST endpoint {path!r}; available: POST /v1/jobs")
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise _RequestError(400, "invalid Content-Length header") from None
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise _RequestError(400, "empty body; POST an ExperimentConfig JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _RequestError(400, f"body is not valid JSON: {error}") from None
+        config = api.submit_job(self.server.runs_dir, payload)
+        self._send_document(
+            api.job_document(self.server.runs_dir, config.name, lock_ttl=self.server.lock_ttl),
+            status=201,
+        )

@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
+import threading
 from pathlib import Path
 from typing import Any, Optional, Union
 
@@ -26,6 +28,38 @@ import numpy as np
 
 _NDARRAY_KEY = "__ndarray__"
 _RNG_KEY = "__np_generator__"
+
+
+def json_safe(value: Any) -> Any:
+    """Replace non-finite floats with ``None``, recursively.
+
+    ``json.dumps`` would otherwise emit bare ``NaN``/``Infinity`` tokens
+    (invalid per RFC 8259), which non-Python consumers of the machine-
+    readable surfaces reject outright.  Accuracy is legitimately NaN for
+    ``retrain_final=false`` runs, so this must be handled, not forbidden.
+    Every document that leaves the process as JSON — ``report --format
+    json``, the :mod:`repro.serve` HTTP bodies — runs through this (via
+    :func:`dumps_strict`).
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def dumps_strict(obj: Any, indent: Optional[int] = 2) -> str:
+    """The one strict-RFC-8259 encoder for JSON that leaves the process.
+
+    Non-finite floats are nulled first; ``allow_nan=False`` then guarantees
+    the emitted document can never contain a bare ``NaN``/``Infinity``
+    token.  The ``repro.api`` documents, the CLI ``--format json`` paths and
+    every ``repro.serve`` response body all render through this function, so
+    server and CLI outputs of the same document are byte-identical.
+    """
+    return json.dumps(json_safe(obj), indent=indent, allow_nan=False)
 
 
 class _NumpyEncoder(json.JSONEncoder):
@@ -57,9 +91,11 @@ def save_json(obj: Any, path: Union[str, Path], compact: bool = False) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    # Per-process temp name: even two workers racing on the same run (a
-    # pathological lock takeover) each rename a complete file into place.
-    temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    # Per-process *and* per-thread temp name: two sweep workers racing on the
+    # same run (a pathological lock takeover), or two ``repro.serve`` handler
+    # threads rewriting the browser cache, each rename a complete file into
+    # place.
+    temporary = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     with temporary.open("w", encoding="utf-8") as handle:
         if compact:
             json.dump(obj, handle, separators=(",", ":"), cls=_NumpyEncoder)
@@ -171,7 +207,7 @@ def save_checkpoint(state: Any, path: Union[str, Path]) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    temporary = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    temporary = path.with_name(f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
     with temporary.open("w", encoding="utf-8") as handle:
         json.dump(encode_state(state), handle)
     temporary.replace(path)

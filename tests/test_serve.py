@@ -1,0 +1,381 @@
+"""End-to-end coverage of the serve API (`repro.serve`) and the `repro.api`
+facade behind it: endpoint round-trips against a threaded live server,
+CLI-vs-HTTP byte parity on cold and warm caches, resident cost-table reuse,
+job submission drained by an ordinary ``sweep --queue`` worker, malformed
+requests answered with did-you-mean bodies, and concurrent GETs while a
+writer mutates the runs directory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.__main__ import main
+from repro.experiments.browser import CACHE_FILE
+from repro.experiments.runner import CONFIG_FILE, RESULT_FILE
+from repro.experiments.sweep import SweepPlan
+from repro.serve import create_server
+
+from test_browser import config_payload, make_run, result_payload
+from test_parallel_sweep import TINY_SWEEP
+
+
+# ----------------------------------------------------------------------
+# Live-server fixture and HTTP helpers
+# ----------------------------------------------------------------------
+@pytest.fixture
+def runs_root(tmp_path: Path) -> Path:
+    root = tmp_path / "runs"
+    make_run(root, "a-run", result=result_payload(accuracy=0.42), config=config_payload())
+    make_run(
+        root,
+        "b-run",
+        result=result_payload(method="baseline", accuracy=0.6),
+        config=config_payload(method="baseline", seed=1),
+    )
+    make_run(root, "pending-run", config=config_payload(seed=4))
+    return root
+
+
+@pytest.fixture
+def live_server(runs_root: Path):
+    """A ThreadingHTTPServer on a free port, torn down after the test."""
+    server = create_server(runs_root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def http_get(server, path: str):
+    """``(status, body_text)`` of a GET against the live server."""
+    try:
+        with urllib.request.urlopen(server.url + path) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def http_post(server, path: str, payload) -> tuple:
+    body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        server.url + path,
+        data=body,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode("utf-8")
+
+
+def cli_stdout(capsys, argv) -> str:
+    assert main(argv) == 0
+    return capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Endpoint round-trips
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_index_lists_endpoints(self, live_server):
+        status, body = http_get(live_server, "/")
+        data = json.loads(body)
+        assert status == 200
+        assert data["schema_version"] == api.SCHEMA_VERSION
+        assert "GET /v1/report" in data["endpoints"]
+
+    def test_report_round_trip(self, live_server):
+        status, body = http_get(live_server, "/v1/report")
+        data = json.loads(body)
+        assert status == 200
+        assert data["schema_version"] == api.SCHEMA_VERSION
+        assert {result["method"] for result in data["results"]} == {
+            "DANCE (w/ FF)",
+            "baseline",
+        }
+        assert data["summary"]["states"] == {"finished": 2, "pending": 1}
+        assert [record["run"] for record in data["pareto"]]
+
+    def test_summary_round_trip(self, live_server):
+        status, body = http_get(live_server, "/v1/summary")
+        data = json.loads(body)
+        assert status == 200
+        assert data["runs"] == 3
+        assert data["states"] == {"finished": 2, "pending": 1}
+        assert data["slices"] == [
+            {"backend": "eyeriss", "task": "cifar", "finished": 2, "total": 3}
+        ]
+
+    def test_run_document_round_trip(self, live_server):
+        status, body = http_get(live_server, "/v1/runs/a-run")
+        data = json.loads(body)
+        assert status == 200
+        assert data["state"] == "finished"
+        assert data["result"]["accuracy"] == 0.42
+        status, body = http_get(live_server, "/v1/runs/pending-run")
+        data = json.loads(body)
+        assert (data["state"], data["result"]) == ("pending", None)
+
+    def test_filters_slice_like_the_cli(self, live_server, runs_root):
+        status, body = http_get(live_server, "/v1/report?method=baseline")
+        data = json.loads(body)
+        assert status == 200
+        assert [result["method"] for result in data["results"]] == ["baseline"]
+        assert data["summary"]["run_dirs"] == 1
+
+    def test_unknown_run_is_404_with_hint(self, live_server):
+        status, body = http_get(live_server, "/v1/runs/a-runn")
+        assert status == 404
+        assert "did you mean 'a-run'" in json.loads(body)["error"]
+
+    def test_unknown_endpoint_is_404(self, live_server):
+        status, body = http_get(live_server, "/v1/reprot")
+        assert status == 404
+        assert "/v1/report" in json.loads(body)["error"]
+
+    def test_unknown_query_param_is_400_with_hint(self, live_server):
+        status, body = http_get(live_server, "/v1/report?bakend=eyeriss")
+        assert status == 400
+        assert "did you mean 'backend'" in json.loads(body)["error"]
+
+
+# ----------------------------------------------------------------------
+# CLI-vs-HTTP byte parity
+# ----------------------------------------------------------------------
+class TestByteParity:
+    def test_report_parity_cold_then_warm(self, live_server, runs_root, capsys):
+        assert not (runs_root / CACHE_FILE).exists()  # cold: server scan seeds it
+        _, cold_body = http_get(live_server, "/v1/report")
+        assert (runs_root / CACHE_FILE).exists()
+        cli = cli_stdout(capsys, ["--runs-dir", str(runs_root), "report", "--format", "json"])
+        assert cold_body == cli
+        _, warm_body = http_get(live_server, "/v1/report")  # warm: cache hit
+        assert warm_body == cold_body
+
+    def test_summary_and_pareto_parity(self, live_server, runs_root, capsys):
+        for path, flag in (("/v1/summary", "--summary"), ("/v1/pareto", "--pareto")):
+            _, body = http_get(live_server, path)
+            cli = cli_stdout(
+                capsys, ["--runs-dir", str(runs_root), "report", flag, "--format", "json"]
+            )
+            assert body == cli, f"{path} body differs from report {flag} --format json"
+
+    def test_cache_control_params_match_cli_flags(self, live_server, runs_root, capsys):
+        _, refreshed = http_get(live_server, "/v1/report?refresh=1")
+        cli = cli_stdout(
+            capsys, ["--runs-dir", str(runs_root), "report", "--format", "json", "--refresh"]
+        )
+        assert refreshed == cli
+        _, uncached = http_get(live_server, "/v1/report?cache=0")
+        cli = cli_stdout(
+            capsys, ["--runs-dir", str(runs_root), "report", "--format", "json", "--no-cache"]
+        )
+        assert uncached == cli
+
+    def test_filtered_parity(self, live_server, runs_root, capsys):
+        _, body = http_get(live_server, "/v1/report?backend=eyeriss&task=cifar")
+        cli = cli_stdout(
+            capsys,
+            [
+                "--runs-dir",
+                str(runs_root),
+                "report",
+                "--format",
+                "json",
+                "--filter",
+                "backend=eyeriss,task=cifar",
+            ],
+        )
+        assert body == cli
+
+
+# ----------------------------------------------------------------------
+# Cost queries from resident tables
+# ----------------------------------------------------------------------
+class TestCostEndpoint:
+    def test_cost_defaults_and_residency(self, live_server):
+        status, body = http_get(live_server, "/v1/cost")
+        data = json.loads(body)
+        assert status == 200
+        assert (data["backend"], data["task"], data["hw_space"]) == (
+            "eyeriss",
+            "cifar",
+            "tiny",
+        )
+        assert data["layers"] and all(
+            set(layer) == {"layer", "latency_ms", "energy_mj", "utilization"}
+            for layer in data["layers"]
+        )
+        totals = data["totals"]
+        assert totals["edap"] == pytest.approx(
+            totals["latency_ms"] * totals["energy_mj"] * totals["area_mm2"]
+        )
+        assert live_server.cost_tables.stats()["builds"] == 1
+        status, again = http_get(live_server, "/v1/cost?arch=1,0,2,0,1,0,0,0,3")
+        assert status == 200
+        stats = live_server.cost_tables.stats()
+        assert (stats["builds"], stats["hits"]) == (1, 1)  # same key: no rebuild
+
+    def test_cost_field_constraints(self, live_server):
+        _, body = http_get(live_server, "/v1/cost")
+        unconstrained = json.loads(body)
+        field, value = next(iter(unconstrained["config"].items()))
+        status, body = http_get(live_server, f"/v1/cost?{field}={value}")
+        data = json.loads(body)
+        assert status == 200
+        assert data["config"][field] == value
+        assert 0 < data["configs_matched"] < unconstrained["configs_matched"]
+
+    def test_cost_unknown_field_is_400_with_hint(self, live_server):
+        status, body = http_get(live_server, "/v1/cost?pe_xx=8")
+        assert status == 400
+        assert "did you mean 'pe_x'" in json.loads(body)["error"]
+
+    def test_cost_unknown_backend_is_400_with_hint(self, live_server):
+        status, body = http_get(live_server, "/v1/cost?backend=eyerriss")
+        assert status == 400
+        assert "did you mean 'eyeriss'" in json.loads(body)["error"]
+
+    def test_cost_bad_arch_is_400(self, live_server):
+        status, body = http_get(live_server, "/v1/cost?arch=1,banana")
+        assert status == 400
+        assert "comma-separated integers" in json.loads(body)["error"]
+        status, body = http_get(live_server, "/v1/cost?arch=1,2")
+        assert status == 400  # wrong position count
+
+
+# ----------------------------------------------------------------------
+# Job submission and queue drain
+# ----------------------------------------------------------------------
+def tiny_job_payload(**overrides) -> dict:
+    return {"method": "baseline", "seed": 7, **TINY_SWEEP, **overrides}
+
+
+class TestJobs:
+    def test_submit_then_drain_with_sweep_queue(self, live_server, runs_root, capsys):
+        status, body = http_post(live_server, "/v1/jobs", tiny_job_payload())
+        data = json.loads(body)
+        assert status == 201
+        assert (data["name"], data["state"]) == ("baseline-cifar-seed7", "pending")
+        assert (runs_root / "baseline-cifar-seed7" / CONFIG_FILE).exists()
+
+        status, body = http_get(live_server, "/v1/jobs/baseline-cifar-seed7")
+        assert (status, json.loads(body)["state"]) == (200, "pending")
+
+        # An ordinary queue worker drains the submitted job to a result.
+        assert main(["--runs-dir", str(runs_root), "sweep", "--queue", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        assert (runs_root / "baseline-cifar-seed7" / RESULT_FILE).exists()
+
+        status, body = http_get(live_server, "/v1/jobs/baseline-cifar-seed7")
+        data = json.loads(body)
+        assert (status, data["state"]) == (200, "finished")
+        assert data["result"]["method"] == "Baseline (No penalty) + HW"
+
+    def test_resubmission_conflicts(self, live_server):
+        assert http_post(live_server, "/v1/jobs", tiny_job_payload(seed=8))[0] == 201
+        status, body = http_post(live_server, "/v1/jobs", tiny_job_payload(seed=8))
+        assert status == 409
+        assert "already exists" in json.loads(body)["error"]
+
+    def test_malformed_payloads_are_400_with_hint(self, live_server):
+        status, body = http_post(live_server, "/v1/jobs", {"methd": "baseline"})
+        assert status == 400
+        assert "did you mean 'method'" in json.loads(body)["error"]
+        status, body = http_post(live_server, "/v1/jobs", b"{not json")
+        assert status == 400
+        assert "not valid JSON" in json.loads(body)["error"]
+        status, body = http_post(live_server, "/v1/jobs", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in json.loads(body)["error"]
+        status, body = http_post(live_server, "/v1/jobs", {"method": "evolution"})
+        assert status == 400
+        assert "unknown method" in json.loads(body)["error"]
+
+    def test_post_to_get_endpoint_is_404(self, live_server):
+        status, body = http_post(live_server, "/v1/report", {})
+        assert status == 404
+
+    def test_queue_mode_with_empty_directory(self, tmp_path, capsys):
+        assert main(["--runs-dir", str(tmp_path / "empty"), "sweep", "--queue"]) == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_from_directory_skips_finished_and_renamed(self, runs_root, tmp_path):
+        # runs_root: a-run and b-run finished, pending-run has a non-canonical
+        # directory name (its config names it dance-cifar-seed4) — none plannable.
+        assert len(SweepPlan.from_directory(runs_root)) == 0
+        workdir = tmp_path / "queued" / "baseline-cifar-seed7"
+        workdir.mkdir(parents=True)
+        (workdir / CONFIG_FILE).write_text(json.dumps(tiny_job_payload()), encoding="utf-8")
+        plan = SweepPlan.from_directory(tmp_path / "queued")
+        assert [item.name for item in plan] == ["baseline-cifar-seed7"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency: readers racing a writer
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_gets_during_writer_mutation(self, live_server, runs_root):
+        """Every response stays parseable strict JSON while the tree churns."""
+        stop = threading.Event()
+        writer_errors = []
+
+        def writer():
+            try:
+                for round_number in range(40):
+                    if stop.is_set():
+                        return
+                    name = f"churn-{round_number % 3}"
+                    make_run(
+                        runs_root,
+                        name,
+                        result=result_payload(accuracy=0.1 + round_number / 100.0),
+                        config=config_payload(seed=10 + round_number % 3),
+                    )
+                    if round_number % 5 == 4:
+                        (runs_root / name / RESULT_FILE).unlink(missing_ok=True)
+            except Exception as error:  # pragma: no cover - diagnostic only
+                writer_errors.append(error)
+
+        responses = []
+        errors = []
+
+        def reader(path):
+            try:
+                for _ in range(12):
+                    responses.append(http_get(live_server, path))
+            except Exception as error:  # pragma: no cover - diagnostic only
+                errors.append(error)
+
+        writer_thread = threading.Thread(target=writer)
+        reader_threads = [
+            threading.Thread(target=reader, args=(path,))
+            for path in ("/v1/report", "/v1/summary", "/v1/pareto", "/v1/report?refresh=1")
+        ]
+        writer_thread.start()
+        for thread in reader_threads:
+            thread.start()
+        for thread in reader_threads:
+            thread.join(timeout=60)
+        stop.set()
+        writer_thread.join(timeout=60)
+
+        assert not errors and not writer_errors
+        assert len(responses) == 48
+        for status, body in responses:
+            assert status == 200
+            assert json.loads(body)["schema_version"] == api.SCHEMA_VERSION
