@@ -488,6 +488,55 @@ def main() -> int:
             server.server_close()
         shutil.rmtree(serve_root, ignore_errors=True)
 
+    # ------------------------------------------------------------------
+    # 11. Scheduler promotion decisions (ASHA over the checkpointed work
+    #     queue): a cold coordinator sync on a sweep-sized rung-0 tree —
+    #     browser scan, score harvest, full cut, state write, retirement
+    #     markers — against a warm re-sync on the settled schedule
+    #     (cache-served scan, sticky decisions, no writes).
+    # ------------------------------------------------------------------
+    from repro.experiments.browser import CACHE_FILE
+    from repro.experiments.schedulers import STATE_FILE, ASHA, ScheduleCoordinator
+
+    sched_runs_count = 320 if bench_scale() == "small" else 500
+    sched_root = Path(tempfile.mkdtemp(prefix="bench_scheduler_"))
+    try:
+        sched_names = [f"baseline-cifar-seed{index}" for index in range(sched_runs_count)]
+        for index, name in enumerate(sched_names):
+            workdir = sched_root / name
+            save_json(
+                {"method": "baseline", "task": "cifar", "backend": "eyeriss", "seed": index},
+                workdir / "config.json",
+            )
+            # A paused rung-0 candidate: checkpoint head carries the step
+            # count and the lower-is-better score the harvest reads.
+            (workdir / "checkpoint.json").write_text(
+                '{"steps_completed": 1, "score": %.6f, "state": "%s"}'
+                % (2.0 + (index * 37 % sched_runs_count) * 1e-3, "x" * 2048),
+                encoding="utf-8",
+            )
+        sched = ASHA(eta=3, min_steps=1)
+
+        def cold_sync() -> None:
+            (sched_root / CACHE_FILE).unlink(missing_ok=True)
+            (sched_root / STATE_FILE).unlink(missing_ok=True)
+            ScheduleCoordinator(sched_root, sched, sched_names, 60.0).sync()
+
+        cold_sync()  # warm the page cache (retirement markers persist)
+        before = _time(cold_sync, repeats=3)
+        coordinator = ScheduleCoordinator(sched_root, sched, sched_names, 60.0)
+        coordinator.sync()
+        after = _time(coordinator.sync, repeats=3)
+    finally:
+        shutil.rmtree(sched_root, ignore_errors=True)
+    results["scheduler_decide"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "runs": sched_runs_count,
+    }
+    print(f"scheduler_decide:     {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
     payload = {
         "benchmark": "costmodel",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),

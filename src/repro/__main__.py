@@ -34,6 +34,7 @@ Examples::
     python -m repro sweep --methods dance rl --seeds 0 1 2 --shard 1/3
     python -m repro sweep --backends eyeriss systolic simd --methods dance --seeds 0
     python -m repro sweep --tasks cifar,detection --methods dance --seeds 0
+    python -m repro sweep --methods baseline --seeds 0 1 2 3 --scheduler asha --eta 2
     python -m repro report
     python -m repro report --pareto
     python -m repro report --format json
@@ -60,6 +61,12 @@ def _positive_int(raw: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _available_schedulers() -> List[str]:
+    from repro.experiments.schedulers import available_schedulers
+
+    return available_schedulers()
 
 
 def _name_list(tokens: Optional[List[str]], flag: str) -> Optional[List[str]]:
@@ -165,6 +172,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore the grid flags and drain the pending on-disk runs under "
         "--runs-dir instead (config.json without result.json — e.g. jobs "
         "submitted via the serve API)",
+    )
+    sweep.add_argument(
+        "--scheduler",
+        choices=_available_schedulers(),
+        default="grid",
+        help="promotion policy over the grid: grid runs everything (default), "
+        "halving/asha run successive-halving rungs and retire weak candidates "
+        "early (see docs/schedulers.md)",
+    )
+    sweep.add_argument(
+        "--eta",
+        type=int,
+        default=3,
+        help="halving/asha reduction factor: promote the best 1/eta per rung (default: 3)",
+    )
+    sweep.add_argument(
+        "--min-steps",
+        type=_positive_int,
+        default=1,
+        metavar="STEPS",
+        help="halving/asha first-rung step budget; rung r runs to min-steps * eta^r "
+        "(default: 1)",
     )
     _add_common_run_options(sweep)
 
@@ -301,6 +330,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 title = f"Sweep ({len(plan)} runs)"
             if args.shard:
                 plan = plan.shard(*parse_shard(args.shard))
+            from repro.experiments.schedulers import build_scheduler
+
+            scheduler = build_scheduler(
+                args.scheduler, eta=args.eta, min_steps=args.min_steps
+            )
         except ValueError as error:
             raise SystemExit(str(error))
         outcome = run_sweep(
@@ -309,9 +343,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             lock_ttl=args.lock_ttl,
             title=title,
+            scheduler=scheduler,
         )
         print(outcome.report_path.read_text(encoding="utf-8").rstrip())
         print(f"Report saved to {outcome.report_path}")
+        if outcome.retired:
+            print(
+                f"{len(outcome.retired)} run(s) retired by the {args.scheduler} "
+                f"scheduler: {', '.join(outcome.retired)}"
+            )
         if outcome.unfinished:
             print(
                 f"{len(outcome.unfinished)} run(s) unfinished: {', '.join(outcome.unfinished)}"

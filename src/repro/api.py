@@ -104,12 +104,19 @@ class ParetoDocument(_Document):
 
 @dataclass(frozen=True)
 class SummaryDocument(_Document):
-    """``report --summary --format json`` / ``GET /v1/summary``."""
+    """``report --summary --format json`` / ``GET /v1/summary``.
+
+    ``scheduler`` is the per-rung tally block of an adaptive sweep
+    (``.scheduler_state.json`` present under the root, see
+    ``docs/schedulers.md``), or ``None`` for plain grid sweeps — an
+    additive key, so the schema version is unchanged.
+    """
 
     root: str
     runs: int
     states: Dict[str, int]
     slices: List[Dict[str, Any]]
+    scheduler: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -118,6 +125,31 @@ class SummaryDocument(_Document):
             "runs": self.runs,
             "states": self.states,
             "slices": self.slices,
+            "scheduler": self.scheduler,
+        }
+
+
+@dataclass(frozen=True)
+class ScheduleDocument(_Document):
+    """``GET /v1/sweep/schedule``: the adaptive-sweep promotion ladder.
+
+    ``scheduler`` is the same per-rung tally block as
+    :class:`SummaryDocument`; ``candidates`` lists every candidate with its
+    current rung, queue state, sticky decision and per-rung scores.  Both
+    are empty (``None`` / ``[]``) when the runs directory holds no
+    ``.scheduler_state.json``.
+    """
+
+    root: str
+    scheduler: Optional[Dict[str, Any]]
+    candidates: List[Dict[str, Any]]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "root": self.root,
+            "scheduler": self.scheduler,
+            "candidates": self.candidates,
         }
 
 
@@ -342,11 +374,13 @@ def summary_document(
     """
     root, summaries, ttl = _browse(root, lock_ttl, use_cache, refresh, filters)
     states: Dict[str, int] = {}
+    live: Dict[str, str] = {}
     slices: Dict[Tuple[str, str], Dict[str, int]] = {}
     for relpath in sorted(summaries):
         summary = summaries[relpath]
         state = summary.state(root, ttl)
         states[state] = states.get(state, 0) + 1
+        live[relpath] = state
         key = (summary.backend_label or "?", summary.task or "?")
         bucket = slices.setdefault(key, {"finished": 0, "total": 0})
         bucket["total"] += 1
@@ -365,6 +399,55 @@ def summary_document(
             }
             for (backend, task), bucket in sorted(slices.items())
         ],
+        scheduler=_schedule_overview(root, live),
+    )
+
+
+def _schedule_overview(
+    root: Path, live_states: Optional[Mapping[str, str]]
+) -> Optional[Dict[str, Any]]:
+    """Per-rung tallies of the schedule under ``root``, or ``None``.
+
+    A present-but-unreadable state file yields ``None`` too: the progress
+    surfaces must keep reporting a sweep whose schedule got corrupted (the
+    sweep workers themselves fail loudly on it).
+    """
+    from repro.experiments.schedulers import load_state, schedule_overview
+
+    try:
+        state = load_state(root)
+    except ValueError:
+        return None
+    if state is None:
+        return None
+    return json_safe(schedule_overview(state, live_states))
+
+
+def schedule_document(
+    root: Union[str, Path],
+    lock_ttl: Optional[float] = None,
+    use_cache: bool = True,
+    refresh: bool = False,
+) -> ScheduleDocument:
+    """The adaptive-sweep schedule under ``root`` (``GET /v1/sweep/schedule``)."""
+    from repro.experiments.schedulers import load_state, candidate_rows, schedule_overview
+
+    root, summaries, ttl = _browse(root, lock_ttl, use_cache, refresh, None)
+    try:
+        state = load_state(root)
+    except ValueError:
+        state = None
+    if state is None:
+        return ScheduleDocument(root=str(root), scheduler=None, candidates=[])
+    live = {
+        relpath: summaries[relpath].state(root, ttl)
+        for relpath in state.candidates
+        if relpath in summaries
+    }
+    return ScheduleDocument(
+        root=str(root),
+        scheduler=json_safe(schedule_overview(state, live)),
+        candidates=json_safe(candidate_rows(state, live)),
     )
 
 
@@ -421,19 +504,53 @@ def submit_job(root: Union[str, Path], data: Mapping[str, Any]):
     ``ExperimentConfig.from_dict``) on a malformed payload and
     :class:`JobConflictError` when the run directory already holds a
     config or result.
+
+    The payload may carry three extra, non-config keys — ``scheduler``
+    (registry name), ``eta`` and ``min_steps`` — to register the run as a
+    candidate of the adaptive schedule under ``root``
+    (``docs/schedulers.md``).  Registration validates parameter agreement
+    with any existing schedule and rejects new candidates once promotion
+    decisions were made; ``scheduler: "grid"`` (and omitting the key)
+    queues a plain run.
     """
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import CONFIG_FILE, RESULT_FILE
 
     if not isinstance(data, Mapping):
         raise ValueError(f"job payload must be a JSON object, got {type(data).__name__}")
-    config = ExperimentConfig.from_dict(dict(data))
+    payload = dict(data)
+    scheduler_name = payload.pop("scheduler", None)
+    eta = payload.pop("eta", None)
+    min_steps = payload.pop("min_steps", None)
+    scheduler = None
+    if scheduler_name is not None:
+        from repro.experiments.schedulers import build_scheduler
+
+        scheduler = build_scheduler(
+            str(scheduler_name),
+            eta=3 if eta is None else int(eta),
+            min_steps=1 if min_steps is None else int(min_steps),
+        )
+    elif eta is not None or min_steps is not None:
+        raise ValueError(
+            "job payload sets eta/min_steps without a scheduler; "
+            "add \"scheduler\": \"halving\" or \"asha\""
+        )
+    config = ExperimentConfig.from_dict(payload)
     workdir = Path(root) / config.name
     if (workdir / CONFIG_FILE).exists() or (workdir / RESULT_FILE).exists():
         raise JobConflictError(
             f"run {config.name!r} already exists under {root}; "
             f"query it via /v1/jobs/{config.name} or choose a different seed/method"
         )
+    if scheduler is not None and scheduler.name != "grid":
+        # Validate the registration (parameter agreement, no decisions yet)
+        # BEFORE the config lands: a rejected candidate must not linger as
+        # a pending run the schedule will never admit.
+        from repro.experiments.schedulers import register_candidates
+        from repro.experiments.sweep import DEFAULT_LOCK_TTL
+
+        register_candidates(root, scheduler, [config.name], DEFAULT_LOCK_TTL)
     config.save(workdir / CONFIG_FILE)
     return config
 
@@ -600,6 +717,7 @@ __all__ = [
     "ParetoDocument",
     "ReportDocument",
     "RunDocument",
+    "ScheduleDocument",
     "SummaryDocument",
     "UnknownRunError",
     "cost_document",
@@ -609,6 +727,7 @@ __all__ = [
     "report_document",
     "run_document",
     "run_states",
+    "schedule_document",
     "submit_job",
     "summary_document",
 ]

@@ -31,7 +31,7 @@ import re
 import time
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -44,8 +44,15 @@ RESULT_ARTIFACT = "result.json"
 CONFIG_ARTIFACT = "config.json"
 CHECKPOINT_ARTIFACT = "checkpoint.json"
 FAILED_ARTIFACT = "FAILED.txt"
+RETIRED_ARTIFACT = "RETIRED.txt"
 LOCK_ARTIFACT = "LOCK"
-ARTIFACTS = (RESULT_ARTIFACT, CONFIG_ARTIFACT, CHECKPOINT_ARTIFACT, FAILED_ARTIFACT)
+ARTIFACTS = (
+    RESULT_ARTIFACT,
+    CONFIG_ARTIFACT,
+    CHECKPOINT_ARTIFACT,
+    FAILED_ARTIFACT,
+    RETIRED_ARTIFACT,
+)
 #: Set form for the scanner's per-directory-entry membership test.
 ARTIFACT_SET = frozenset(ARTIFACTS)
 
@@ -67,6 +74,9 @@ _REQUIRED_RESULT_KEYS = (
 _REQUIRED_METRIC_KEYS = ("latency_ms", "energy_mj", "area_mm2")
 
 _STEP_PATTERN = re.compile(r'"steps_completed":\s*(\d+)')
+#: The optional scheduler score a checkpoint head carries right after the
+#: step count (see ``Runner._checkpoint``); a JSON number literal.
+_SCORE_PATTERN = re.compile(r'"score":\s*(-?(?:0|[1-9]\d*)(?:\.\d+)?(?:[eE][+-]?\d+)?)')
 
 
 class _SummaryHardware:
@@ -109,6 +119,9 @@ class RunSummary:
 
     # -- checkpoint.json -------------------------------------------------
     checkpoint_step: Optional[int] = None
+    #: Lower-is-better scheduler score from the checkpoint head (the latest
+    #: history record's training signal); ``None`` when absent.
+    checkpoint_score: Optional[float] = None
 
     # -- result.json (lean fields only) ----------------------------------
     result_method: Optional[str] = None
@@ -119,6 +132,9 @@ class RunSummary:
     area_mm2: Optional[float] = None
     search_seconds: Optional[float] = None
     candidates_trained: Optional[int] = None
+    #: Lower-is-better scheduler score of the finished run (its final
+    #: history record); ``None`` when the history carries no known signal.
+    result_score: Optional[float] = None
 
     # -- artefact presence ------------------------------------------------
     @property
@@ -136,6 +152,10 @@ class RunSummary:
     @property
     def has_failed(self) -> bool:
         return FAILED_ARTIFACT in self.signature
+
+    @property
+    def has_retired(self) -> bool:
+        return RETIRED_ARTIFACT in self.signature
 
     @property
     def backend_label(self) -> Optional[str]:
@@ -164,6 +184,7 @@ class RunSummary:
             lock_ttl=lock_ttl,
             has_failed=self.has_failed,
             has_checkpoint=self.has_checkpoint,
+            has_retired=self.has_retired,
         )
 
     # -- facade result -----------------------------------------------------
@@ -270,7 +291,9 @@ def summarize_run_dir(
                 pass
 
     if summary.has_checkpoint:
-        summary.checkpoint_step = _checkpoint_step_from_head(workdir / CHECKPOINT_ARTIFACT)
+        summary.checkpoint_step, summary.checkpoint_score = _checkpoint_head(
+            workdir / CHECKPOINT_ARTIFACT
+        )
         if summary.checkpoint_step is None and not (workdir / CHECKPOINT_ARTIFACT).exists():
             summary.signature.pop(CHECKPOINT_ARTIFACT, None)
 
@@ -305,6 +328,13 @@ def _extract_result(summary: RunSummary, payload: bytes) -> None:
     summary.area_mm2 = metrics["area_mm2"]
     summary.search_seconds = float(data["search_seconds"])
     summary.candidates_trained = int(data["candidates_trained"])
+    history = data["history"]
+    if isinstance(history, list) and history:
+        # rung_score tolerates any record shape and returns None for
+        # unusable ones, so legacy histories cannot corrupt the summary.
+        from repro.experiments.schedulers.base import rung_score
+
+        summary.result_score = rung_score(history[-1])
     # HardwareMetrics rejects negative values at facade-construction time;
     # surface that as corruption here instead of at render time.
     HardwareMetrics(
@@ -328,17 +358,28 @@ def _extract_config(summary: RunSummary, payload: bytes) -> None:
     summary.seed = int(seed) if isinstance(seed, (int, float)) and not isinstance(seed, bool) else None
 
 
-def _checkpoint_step_from_head(path: Path) -> Optional[int]:
-    """``steps_completed`` from the head of a checkpoint, without parsing it.
+def _checkpoint_head(path: Path) -> Tuple[Optional[int], Optional[float]]:
+    """``(steps_completed, score)`` from the head of a checkpoint file.
 
     Checkpoints are megabytes of JSON (network weights); ``steps_completed``
-    is written first (dict insertion order), so 256 bytes suffice.  Any
-    read problem — missing file, permission, garbage head — yields ``None``.
+    and the optional scheduler ``score`` are written first (dict insertion
+    order, see ``Runner._checkpoint``), so 256 bytes suffice without
+    parsing the payload.  Any read problem — missing file, permission,
+    garbage head — yields ``(None, None)``.
     """
     try:
         with path.open("r", encoding="utf-8", errors="replace") as handle:
             head = handle.read(256)
     except OSError:
-        return None
-    match = _STEP_PATTERN.search(head)
-    return int(match.group(1)) if match else None
+        return None, None
+    step_match = _STEP_PATTERN.search(head)
+    if not step_match:
+        return None, None
+    score: Optional[float] = None
+    score_match = _SCORE_PATTERN.search(head)
+    if score_match:
+        try:
+            score = float(score_match.group(1))
+        except ValueError:  # pragma: no cover - the pattern is a number
+            score = None
+    return int(step_match.group(1)), score

@@ -184,7 +184,7 @@ def status_view(
         summary = summaries[relpath]
         state = summary.state(Path(root), lock_ttl)
         entry: Dict[str, object] = {"state": state}
-        if state in ("checkpointed", "running", "stale", "failed", "corrupt"):
+        if state in ("checkpointed", "running", "stale", "retired", "failed", "corrupt"):
             entry["step"] = summary.checkpoint_step
         status[relpath] = entry
     return status

@@ -125,10 +125,20 @@ class Runner:
         return result
 
     def _checkpoint(self, searcher: Any, workdir: Path) -> None:
-        path = save_checkpoint(
-            {"steps_completed": searcher.steps_completed, "state": searcher.state_dict()},
-            workdir / CHECKPOINT_FILE,
-        )
+        from repro.experiments.schedulers import rung_score
+
+        state = searcher.state_dict()
+        payload: Dict[str, Any] = {"steps_completed": searcher.steps_completed}
+        # The candidate's lower-is-better score rides in the checkpoint head
+        # (right after the step, so the browser's 256-byte head read finds
+        # both): sweep schedulers cut rungs on it without parsing the
+        # megabytes of weights behind it.
+        history = state.get("history") if isinstance(state, dict) else None
+        score = rung_score(history[-1]) if history else None
+        if score is not None:
+            payload["score"] = score
+        payload["state"] = state
+        path = save_checkpoint(payload, workdir / CHECKPOINT_FILE)
         logger.info(
             "checkpointed %s at step %d/%d -> %s",
             searcher.method_name,
@@ -252,6 +262,7 @@ class Runner:
         lock_ttl: Optional[float] = None,
         backends: Optional[Sequence[str]] = None,
         tasks: Optional[Sequence[str]] = None,
+        scheduler: Optional[Any] = None,
     ) -> List[SearchResult]:
         """Run every (backend, task, method, seed) combination and write a report.
 
@@ -279,6 +290,7 @@ class Runner:
             jobs=jobs,
             lock_ttl=DEFAULT_LOCK_TTL if lock_ttl is None else lock_ttl,
             title=title,
+            scheduler=scheduler,
         )
         if outcome.unfinished:
             raise RuntimeError(
@@ -511,5 +523,24 @@ class Runner:
                 done = f"{entry['finished']}/{entry['total']}"
                 lines.append(
                     f"{entry['backend']:<{backend_width}}{entry['task']:<{task_width}}{done:>10}"
+                )
+        schedule = progress.get("scheduler")
+        if schedule:
+            lines += [
+                "",
+                f"Scheduler: {schedule['name']}  eta: {schedule['eta']}  "
+                f"min-steps: {schedule['min_steps']}  candidates: {schedule['candidates']}",
+            ]
+            header = (
+                f"{'Rung':<6}{'Budget':>8}{'Pop.':>7}{'Quota':>7}"
+                f"{'Scored':>8}{'Running':>9}{'Promoted':>10}{'Retired':>9}"
+            )
+            lines += [header, "-" * len(header)]
+            for rung in schedule["rungs"]:
+                budget = "full" if rung["budget"] is None else str(rung["budget"])
+                lines.append(
+                    f"{rung['rung']:<6}{budget:>8}{rung['population']:>7}{rung['quota']:>7}"
+                    f"{rung['scored']:>8}{rung['running']:>9}{rung['promoted']:>10}"
+                    f"{rung['retired']:>9}"
                 )
         return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Scheduler protocol, rung-ladder math and the shared candidate score.
+
+A *scheduler* decides how much budget (search steps) each candidate of a
+sweep receives and which candidates continue past each budget boundary.
+The geometry is the classic successive-halving ladder: rung ``r`` runs its
+candidates to ``min_steps * eta**r`` steps, then promotes the best
+``1/eta`` fraction to the next rung and retires the rest.  The final rung
+has no budget (its candidates run to completion) and no cut.
+
+Everything here is pure arithmetic over ``(score, name)`` pairs — no
+filesystem, no processes — so the determinism guarantees of
+``docs/schedulers.md`` reduce to properties of these functions, unit-tested
+in isolation by ``tests/test_schedulers.py``:
+
+* the ladder is a function of ``(num_candidates, eta, min_steps)`` only;
+* a rung's promotion set is the exact top-``quota`` of the full score
+  ledger under the total order ``(score, run name)`` — lower scores win,
+  names break ties — regardless of the order scores arrived in;
+* :meth:`ASHA.decide` only ever emits decisions that the full ledger is
+  already guaranteed to agree with (see the class docstring), so
+  asynchronous workers converge on the same promotion set as a barrier.
+
+Scores are *lower-is-better* and comparable **within one method only**
+(they come from method-specific training signals); schedule sweeps over a
+single method, or accept that cross-method cuts compare raw loss scales.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Decision labels recorded in the schedule state file.
+PROMOTED = "promoted"
+RETIRED = "retired"
+
+
+def rung_score(record: Any) -> Optional[float]:
+    """The lower-is-better candidate score from one history record.
+
+    Every searcher's ``step()`` appends a per-step record to its history
+    (and its ``state_dict`` carries the list), so the latest record is the
+    freshest training signal a checkpoint or result can offer:
+
+    * RL records carry ``reward`` (higher is better) → ``-reward``;
+    * DANCE and the baselines carry ``train_ce`` (lower is better) → used
+      as-is;
+    * anything else with an ``accuracy`` → ``-accuracy``.
+
+    Returns ``None`` for unusable records (wrong shape, no known key, or a
+    non-finite value — NaN must not poison the total order); the schedule
+    state stores ``None`` and ranks it behind every finite score.
+    """
+    if not isinstance(record, Mapping):
+        return None
+    try:
+        if "reward" in record:
+            value = -float(record["reward"])
+        elif "train_ce" in record:
+            value = float(record["train_ce"])
+        elif "accuracy" in record:
+            value = -float(record["accuracy"])
+        else:
+            return None
+    except (TypeError, ValueError):
+        return None
+    return value if math.isfinite(value) else None
+
+
+def score_order(score: Optional[float], name: str) -> Tuple[int, float, str]:
+    """The one total order every cut uses: score, then run name.
+
+    ``None`` (unusable score) ranks behind every finite score; the name
+    tie-break makes the order — and therefore every promotion set — a pure
+    function of the ledger, independent of arrival order.
+    """
+    if score is None:
+        return (1, 0.0, name)
+    return (0, score, name)
+
+
+@dataclass(frozen=True)
+class RungLadder:
+    """The budget/population geometry of one scheduled sweep.
+
+    ``populations[r]`` is the number of candidates that will ever occupy
+    rung ``r`` (the previous rung's quota), ``quotas[r]`` how many of them
+    are promoted onwards (0 on the final rung), and ``budgets[r]`` the
+    cumulative step budget a rung-``r`` candidate runs to (``None`` on the
+    final rung: run to completion).
+    """
+
+    populations: Tuple[int, ...]
+    quotas: Tuple[int, ...]
+    budgets: Tuple[Optional[int], ...]
+
+    @property
+    def num_rungs(self) -> int:
+        return len(self.populations)
+
+
+def build_ladder(num_candidates: int, eta: int, min_steps: int) -> RungLadder:
+    """The successive-halving ladder for ``num_candidates`` entrants.
+
+    Rung ``r`` holds ``floor(N / eta**r)`` candidates at cumulative budget
+    ``min_steps * eta**r``; rungs are added while the next cut would keep
+    at least one candidate.  A single candidate (or ``num_candidates <
+    eta``) degenerates to one final rung — everything runs to completion,
+    exactly the grid behaviour.
+    """
+    if num_candidates < 1:
+        raise ValueError(f"need at least one candidate, got {num_candidates}")
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    if min_steps < 1:
+        raise ValueError(f"min_steps must be >= 1, got {min_steps}")
+    populations = [num_candidates]
+    while populations[-1] // eta >= 1:
+        populations.append(populations[-1] // eta)
+    quotas = populations[1:] + [0]
+    budgets: list = [min_steps * eta**rung for rung in range(len(populations) - 1)]
+    budgets.append(None)
+    return RungLadder(tuple(populations), tuple(quotas), tuple(budgets))
+
+
+class SweepScheduler:
+    """Protocol of a sweep scheduler: ladder geometry plus the cut rule.
+
+    Implementations are small value objects (picklable, so ``--jobs N``
+    worker processes can carry them) identified by :attr:`name`; the
+    registry in :mod:`repro.experiments.schedulers` builds them from CLI
+    flags.  ``decide`` must be a pure function of its arguments — the
+    coordinator may re-invoke it any number of times, on any worker, and
+    every invocation must agree with every earlier one it subsumes.
+    """
+
+    #: Registry/CLI identifier (``grid`` / ``halving`` / ``asha``).
+    name: str = "base"
+
+    def ladder(self, num_candidates: int) -> RungLadder:
+        raise NotImplementedError
+
+    def decide(
+        self, scores: Mapping[str, Optional[float]], population: int, quota: int
+    ) -> Dict[str, str]:
+        """Map candidate names to :data:`PROMOTED`/:data:`RETIRED` decisions.
+
+        ``scores`` holds the rung scores known *so far* (``population -
+        len(scores)`` candidates have not reported); undecidable candidates
+        are simply absent from the returned dict.
+        """
+        raise NotImplementedError

@@ -1,0 +1,90 @@
+"""Successive halving (synchronous) and ASHA (asynchronous) cut rules.
+
+Both schedulers share the ladder of :func:`~.base.build_ladder`; they
+differ only in *when* a rung's cut becomes decidable:
+
+* :class:`SuccessiveHalving` waits for the complete rung (a barrier): no
+  decision until every one of the rung's ``population`` candidates has a
+  recorded score, then the top ``quota`` under ``(score, name)`` are
+  promoted and the rest retired in one shot.
+* :class:`ASHA` decides per candidate as scores arrive.  The rule is the
+  *guaranteed top-k* test: with ``pending = population - len(scores)``
+  scores still unknown, a candidate ranked at position ``p`` (0-based, in
+  the ``(score, name)`` order over the known scores) is
+
+  - **promoted** iff ``p + pending < quota`` — even if every pending
+    candidate lands ahead of it, it stays inside the quota;
+  - **retired** iff ``p >= quota`` — the candidates already ahead of it
+    fill the quota, and pending arrivals can only push it further out.
+
+  Both conditions are monotone in the ledger (new scores never invalidate
+  an earlier verdict), so every early ASHA decision agrees with the
+  decision the complete ledger would make — the asynchronous promotion set
+  equals the synchronous one, independent of worker count and arrival
+  order (asserted by ``tests/test_schedulers.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from repro.experiments.schedulers.base import (
+    PROMOTED,
+    RETIRED,
+    RungLadder,
+    SweepScheduler,
+    build_ladder,
+    score_order,
+)
+
+
+@dataclass(frozen=True)
+class SuccessiveHalving(SweepScheduler):
+    """Synchronous successive halving: cut each rung only when complete."""
+
+    eta: int = 3
+    min_steps: int = 1
+    name: str = "halving"
+
+    def __post_init__(self) -> None:
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+        if self.min_steps < 1:
+            raise ValueError(f"min_steps must be >= 1, got {self.min_steps}")
+
+    def ladder(self, num_candidates: int) -> RungLadder:
+        return build_ladder(num_candidates, self.eta, self.min_steps)
+
+    def decide(
+        self, scores: Mapping[str, Optional[float]], population: int, quota: int
+    ) -> Dict[str, str]:
+        if quota <= 0 or len(scores) < population:
+            return {}
+        ranked = sorted(scores, key=lambda name: score_order(scores[name], name))
+        return {
+            name: (PROMOTED if position < quota else RETIRED)
+            for position, name in enumerate(ranked)
+        }
+
+
+@dataclass(frozen=True)
+class ASHA(SuccessiveHalving):
+    """Asynchronous successive halving: decide the moment a verdict is safe."""
+
+    name: str = "asha"
+
+    def decide(
+        self, scores: Mapping[str, Optional[float]], population: int, quota: int
+    ) -> Dict[str, str]:
+        if quota <= 0:
+            return {}
+        pending = population - len(scores)
+        ranked = sorted(scores, key=lambda name: score_order(scores[name], name))
+        decisions: Dict[str, str] = {}
+        for position, name in enumerate(ranked):
+            if position + pending < quota:
+                decisions[name] = PROMOTED
+            elif position >= quota:
+                decisions[name] = RETIRED
+        return decisions

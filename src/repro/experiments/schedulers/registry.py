@@ -1,0 +1,36 @@
+"""Name → scheduler registry behind ``sweep --scheduler`` and the jobs API."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.experiments.schedulers.base import SweepScheduler
+from repro.experiments.schedulers.grid import GridScheduler
+from repro.experiments.schedulers.halving import ASHA, SuccessiveHalving
+from repro.utils.text import did_you_mean as _did_you_mean
+
+SCHEDULERS: Dict[str, Type[SweepScheduler]] = {
+    "grid": GridScheduler,
+    "halving": SuccessiveHalving,
+    "asha": ASHA,
+}
+
+
+def available_schedulers() -> List[str]:
+    return sorted(SCHEDULERS)
+
+
+def build_scheduler(name: str, eta: int = 3, min_steps: int = 1) -> SweepScheduler:
+    """Instantiate a scheduler by registry name (with did-you-mean hints).
+
+    ``grid`` takes no parameters (there is nothing to cut); the halving
+    family validates ``eta >= 2`` and ``min_steps >= 1`` in its constructor.
+    """
+    if name not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {name!r}; expected one of "
+            f"{available_schedulers()}{_did_you_mean(name, SCHEDULERS)}"
+        )
+    if name == "grid":
+        return GridScheduler()
+    return SCHEDULERS[name](eta=int(eta), min_steps=int(min_steps))

@@ -32,13 +32,16 @@ import re
 import socket
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.results import SearchResult
 from repro.experiments.config import METHODS, ExperimentConfig
 from repro.experiments.runner import CHECKPOINT_FILE, CONFIG_FILE, RESULT_FILE, Runner
+from repro.experiments.schedulers.base import SweepScheduler
+from repro.experiments.schedulers.coordinator import Assignment, ScheduleCoordinator
+from repro.experiments.schedulers.state import RETIRED_FILE
 from repro.utils.logging import get_logger
 from repro.utils.serialization import load_json
 
@@ -136,6 +139,11 @@ class SweepPlan:
         for config_path in sorted(base_dir.glob(f"*/{CONFIG_FILE}")):
             workdir = config_path.parent
             if (workdir / RESULT_FILE).exists():
+                continue
+            if (workdir / RETIRED_FILE).exists():
+                # A retirement is terminal: draining the run as pending would
+                # resurrect a candidate the scheduler already cut.
+                logger.info("skipping %s: retired by scheduler", workdir)
                 continue
             try:
                 config = ExperimentConfig.load(config_path)
@@ -321,7 +329,7 @@ class WorkQueue:
 
     # -- inspection -----------------------------------------------------
     def status(self) -> Dict[str, str]:
-        """Per-item state: finished / running / stale / failed / checkpointed / pending."""
+        """Per-item state: finished / running / stale / retired / failed / checkpointed / pending."""
         return {name: item_state(self.workdir(name), self.lock_ttl) for name in self.names}
 
 
@@ -333,6 +341,7 @@ def classify_state(
     lock_ttl: float = DEFAULT_LOCK_TTL,
     has_failed: bool = False,
     has_checkpoint: bool = False,
+    has_retired: bool = False,
 ) -> str:
     """The one place a run's queue state is decided.
 
@@ -342,11 +351,16 @@ def classify_state(
     a live lock age — keeping the two views agreeing by construction.
     ``corrupt`` marks a run whose ``result.json`` exists but is unusable
     (truncated / garbage / missing keys, see ``docs/browser.md``).
+    ``retired`` marks a run a sweep scheduler deliberately cut
+    (``RETIRED.txt``, see ``docs/schedulers.md``) — a scheduling outcome,
+    distinct from ``failed`` which records a crash.
     """
     if has_result:
         return "corrupt" if corrupt else "finished"
     if lock_age is not None:
         return "running" if lock_age < lock_ttl else "stale"
+    if has_retired:
+        return "retired"
     if has_failed:
         return "failed"
     if has_checkpoint:
@@ -368,6 +382,7 @@ def item_state(workdir: Path, lock_ttl: float = DEFAULT_LOCK_TTL) -> str:
         lock_ttl=lock_ttl,
         has_failed=(workdir / FAILED_FILE).exists(),
         has_checkpoint=(workdir / CHECKPOINT_FILE).exists(),
+        has_retired=(workdir / RETIRED_FILE).exists(),
     )
 
 
@@ -486,6 +501,128 @@ def _sweep_worker(base_dir: str, config_dicts: List[Dict[str, Any]], lock_ttl: f
     _drain_queue(base_dir, items, lock_ttl)
 
 
+def _checkpoint_steps(workdir: Path) -> int:
+    """Steps completed per the run's checkpoint head (0 when there is none).
+
+    Reads only the first bytes: ``steps_completed`` leads the checkpoint
+    payload precisely so progress queries never parse the (large) searcher
+    state (same trick as the results browser).
+    """
+    try:
+        with (workdir / CHECKPOINT_FILE).open("rb") as handle:
+            head = handle.read(256)
+    except OSError:
+        return 0
+    match = re.search(rb'"steps_completed":\s*(\d+)', head)
+    return int(match.group(1)) if match else 0
+
+
+def _drain_scheduled(
+    base_dir: str,
+    items: Sequence[WorkItem],
+    lock_ttl: float,
+    scheduler: SweepScheduler,
+) -> None:
+    """One worker of a scheduled (halving/ASHA) sweep.
+
+    Unlike the grid drain, work arrives in rung-sized slices: each sync of
+    the :class:`~repro.experiments.schedulers.coordinator.ScheduleCoordinator`
+    yields the currently runnable assignments (candidate + cumulative step
+    budget), and the worker claims them through the very same per-run LOCK
+    queue as grid sweeps.  A claimed candidate is resumed from its
+    checkpoint and paused again once it reaches the rung budget
+    (``max_steps``); at the final rung the budget is ``None`` and the run
+    finishes normally.  The worker exits once every candidate is terminal
+    (finished / corrupt / retired) — or when the schedule is stalled: no
+    assignment this worker has not already attempted and no live lock from
+    any other worker, which happens only when failed runs block a rung
+    quota that can then never fill.  Stalled candidates surface as
+    ``unfinished``/``failed`` in the outcome instead of hanging the sweep.
+    """
+    runner = Runner(base_dir=base_dir)
+    names = [item.name for item in items]
+    queue = WorkQueue(base_dir, names, lock_ttl=lock_ttl)
+    configs = {item.name: item.config for item in items}
+    coordinator = ScheduleCoordinator(base_dir, scheduler, names, lock_ttl)
+    poll_interval = _poll_interval(lock_ttl)
+    attempted: set = set()  # (name, rung) pairs this worker will not retry
+
+    def run_one(assignment: Assignment, workdir: Path) -> None:
+        failed_marker = workdir / FAILED_FILE
+        max_steps = None
+        if assignment.budget is not None:
+            max_steps = max(assignment.budget - _checkpoint_steps(workdir), 0)
+        try:
+            logger.info(
+                "worker %d: claimed %s (rung %d, budget %s)",
+                os.getpid(),
+                assignment.name,
+                assignment.rung,
+                assignment.budget,
+            )
+            result = runner.run(
+                configs[assignment.name],
+                workdir=workdir,
+                resume=True,
+                max_steps=max_steps,
+                on_step=lambda step, _name=assignment.name: queue.heartbeat(_name),
+            )
+            if result is None:
+                queue.release(assignment.name)  # paused at the rung budget
+            else:
+                failed_marker.unlink(missing_ok=True)
+                queue.complete(assignment.name)
+        except Exception as error:  # the schedule must survive any run failure
+            failed_marker.write_text(traceback.format_exc(), encoding="utf-8")
+            queue.release(assignment.name)
+            logger.error("worker %d: %s failed: %s", os.getpid(), assignment.name, error)
+
+    while True:
+        plan = coordinator.sync()
+        if plan.all_terminal:
+            return
+        progressable = [
+            assignment
+            for assignment in plan.assignments
+            if (assignment.name, assignment.rung) not in attempted
+            and assignment.name in configs
+        ]
+        claimed: Optional[Assignment] = None
+        for assignment in progressable:
+            if queue.try_claim(assignment.name):
+                claimed = assignment
+                break
+        if claimed is None:
+            if not progressable and not any(
+                queue.lock_path(assignment.name).exists()
+                for assignment in plan.assignments
+            ):
+                logger.warning(
+                    "schedule stalled under %s: %d undecidable candidates left",
+                    base_dir,
+                    len(plan.assignments) + len(plan.waiting),
+                )
+                return
+            time.sleep(poll_interval)
+            continue
+        attempted.add((claimed.name, claimed.rung))
+        workdir = queue.workdir(claimed.name)
+        for stale_tmp in workdir.glob("*.tmp"):
+            stale_tmp.unlink(missing_ok=True)
+        run_one(claimed, workdir)
+
+
+def _scheduled_sweep_worker(
+    base_dir: str,
+    config_dicts: List[Dict[str, Any]],
+    lock_ttl: float,
+    scheduler: SweepScheduler,
+) -> None:
+    """Multiprocessing entry point (schedulers are picklable frozen dataclasses)."""
+    items = [WorkItem(ExperimentConfig.from_dict(data)) for data in config_dicts]
+    _drain_scheduled(base_dir, items, lock_ttl, scheduler)
+
+
 @dataclass
 class SweepOutcome:
     """What a sweep invocation achieved, finished or not."""
@@ -493,6 +630,8 @@ class SweepOutcome:
     results: List[SearchResult]
     unfinished: List[str]
     report_path: Path
+    #: Runs a sweep scheduler deliberately cut (terminal, not unfinished).
+    retired: List[str] = field(default_factory=list)
 
     @property
     def complete(self) -> bool:
@@ -505,6 +644,7 @@ def run_sweep(
     jobs: int = 1,
     lock_ttl: float = DEFAULT_LOCK_TTL,
     title: Optional[str] = None,
+    scheduler: Optional[SweepScheduler] = None,
 ) -> SweepOutcome:
     """Execute a sweep plan with ``jobs`` workers and write the combined report.
 
@@ -514,20 +654,33 @@ def run_sweep(
     skipped via their saved results, so re-launching an interrupted sweep —
     or launching complementary ``--shard`` slices — simply fills in what is
     missing.
+
+    ``scheduler`` selects the promotion policy (``docs/schedulers.md``).
+    ``None`` and the grid scheduler take the plain run-everything path —
+    deliberately the very same code, so ``--scheduler grid`` output is
+    byte-identical to an unscheduled sweep; halving/ASHA schedulers route
+    through the rung-budgeted drain and may retire runs early.
     """
     base_dir = Path(base_dir)
+    scheduled = scheduler is not None and scheduler.name != "grid" and bool(plan.items)
     workers = max(1, min(int(jobs), len(plan.items)))
     if workers <= 1:
-        _drain_queue(str(base_dir), list(plan.items), lock_ttl)
+        if scheduled:
+            _drain_scheduled(str(base_dir), list(plan.items), lock_ttl, scheduler)
+        else:
+            _drain_queue(str(base_dir), list(plan.items), lock_ttl)
     else:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
         config_dicts = [item.config.to_dict() for item in plan.items]
-        processes = [
-            context.Process(target=_sweep_worker, args=(str(base_dir), config_dicts, lock_ttl))
-            for _ in range(workers)
-        ]
+        if scheduled:
+            worker_args: Tuple[Any, ...] = (str(base_dir), config_dicts, lock_ttl, scheduler)
+            target: Callable[..., None] = _scheduled_sweep_worker
+        else:
+            worker_args = (str(base_dir), config_dicts, lock_ttl)
+            target = _sweep_worker
+        processes = [context.Process(target=target, args=worker_args) for _ in range(workers)]
         for process in processes:
             process.start()
         for process in processes:
@@ -535,15 +688,20 @@ def run_sweep(
 
     results: List[SearchResult] = []
     unfinished: List[str] = []
+    retired: List[str] = []
     for item in plan.items:
         result_path = base_dir / item.name / RESULT_FILE
         if result_path.exists():
             results.append(SearchResult.from_dict(load_json(result_path)))
+        elif (base_dir / item.name / RETIRED_FILE).exists():
+            retired.append(item.name)
         else:
             unfinished.append(item.name)
 
     runner = Runner(base_dir=base_dir)
     report = runner.format_report(results, title=title or "Sweep results")
+    if retired:
+        report += f"\n\nRetired by scheduler ({len(retired)}): " + ", ".join(retired)
     if unfinished:
         report += "\n\n" + format_sweep_status(sweep_status(base_dir, lock_ttl))
     report_path = base_dir / "REPORT.txt"
@@ -553,7 +711,9 @@ def run_sweep(
     temporary = report_path.with_name(f"{report_path.name}.{os.getpid()}.tmp")
     temporary.write_text(report + "\n", encoding="utf-8")
     temporary.replace(report_path)
-    return SweepOutcome(results=results, unfinished=unfinished, report_path=report_path)
+    return SweepOutcome(
+        results=results, unfinished=unfinished, report_path=report_path, retired=retired
+    )
 
 
 class ParallelRunner(Runner):

@@ -16,10 +16,18 @@ Design rules:
 * **Errors are documents too.**  Every non-2xx body is
   ``{"schema_version": ..., "error": ...}`` through the same encoder, and
   unknown names answer with the repository's canonical did-you-mean hints.
+* **Revalidation is free.**  The report-family endpoints (``/v1/report``,
+  ``/v1/pareto``, ``/v1/summary``) tag every 200 with a strong ``ETag``
+  (the SHA-256 of the exact body); a request whose ``If-None-Match``
+  matches is answered ``304 Not Modified`` with no body.  The document is
+  still rendered server-side (the browser cache makes that cheap) — what
+  revalidation saves is the transfer, which dominates for thousand-run
+  report bodies polled by dashboards.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -42,6 +50,7 @@ _ENDPOINTS = (
     "GET /v1/report",
     "GET /v1/pareto",
     "GET /v1/summary",
+    "GET /v1/sweep/schedule",
     "GET /v1/runs/{name}",
     "GET /v1/cost",
     "POST /v1/jobs",
@@ -116,6 +125,51 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_revalidated(self, document: api._Document) -> None:
+        """Send a document with a strong ``ETag``, honouring ``If-None-Match``.
+
+        The tag is the SHA-256 of the exact response body (rendered
+        document + newline), so two byte-identical bodies — and only those
+        — share a tag, regardless of which worker or process rendered
+        them.  On a match the reply is a bodyless ``304`` carrying the
+        same ``ETag`` (RFC 9110: a 304 has no body, which
+        ``http.client``-family consumers already expect).
+        """
+        body = (document.render() + "\n").encode("utf-8")
+        etag = '"' + hashlib.sha256(body).hexdigest() + '"'
+        if self._if_none_match_hits(etag):
+            self.send_response(304)
+            self.send_header("ETag", etag)
+            self.end_headers()
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("ETag", etag)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _if_none_match_hits(self, etag: str) -> bool:
+        """Whether the request's ``If-None-Match`` matches ``etag``.
+
+        Implements the RFC 9110 grammar the header allows: ``*`` (any
+        representation), a comma-separated tag list, and weak ``W/``
+        prefixes — weak comparison suffices for 304 revalidation, so
+        ``W/"x"`` matches ``"x"``.
+        """
+        raw = self.headers.get("If-None-Match")
+        if raw is None:
+            return False
+        if raw.strip() == "*":
+            return True
+        for candidate in raw.split(","):
+            candidate = candidate.strip()
+            if candidate.startswith("W/"):
+                candidate = candidate[2:].strip()
+            if candidate == etag:
+                return True
+        return False
+
     def _send_error_document(self, status: int, message: str) -> None:
         self._send_json(
             dumps_strict({"schema_version": api.SCHEMA_VERSION, "error": message}), status
@@ -188,11 +242,15 @@ class _Handler(BaseHTTPRequestHandler):
                 200,
             )
         elif path == "/v1/report":
-            self._send_document(api.report_document(runs, **self._report_options()))
+            self._send_revalidated(api.report_document(runs, **self._report_options()))
         elif path == "/v1/pareto":
-            self._send_document(api.pareto_document(runs, **self._report_options()))
+            self._send_revalidated(api.pareto_document(runs, **self._report_options()))
         elif path == "/v1/summary":
-            self._send_document(api.summary_document(runs, **self._report_options()))
+            self._send_revalidated(api.summary_document(runs, **self._report_options()))
+        elif path == "/v1/sweep/schedule":
+            self._send_document(
+                api.schedule_document(runs, lock_ttl=self.server.lock_ttl)
+            )
         elif path.startswith("/v1/runs/"):
             name = path[len("/v1/runs/") :]
             self._send_document(

@@ -67,6 +67,21 @@ def http_get(server, path: str):
         return error.code, error.read().decode("utf-8")
 
 
+def http_get_raw(server, path: str, headers=None):
+    """``(status, body_bytes, headers)`` without urllib's error mapping —
+    needed for 304 responses, which urllib treats as errors."""
+    import http.client
+
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        connection.close()
+
+
 def http_post(server, path: str, payload) -> tuple:
     body = payload if isinstance(payload, bytes) else json.dumps(payload).encode("utf-8")
     request = urllib.request.Request(
@@ -201,6 +216,104 @@ class TestByteParity:
             ],
         )
         assert body == cli
+
+
+# ----------------------------------------------------------------------
+# ETag revalidation on the report family
+# ----------------------------------------------------------------------
+class TestRevalidation:
+    def test_etag_round_trip_and_invalidation(self, live_server, runs_root):
+        status, body, headers = http_get_raw(live_server, "/v1/report")
+        etag = headers["ETag"]
+        assert status == 200
+        assert etag.startswith('"') and etag.endswith('"')
+        status, cached_body, cached_headers = http_get_raw(
+            live_server, "/v1/report", headers={"If-None-Match": etag}
+        )
+        assert (status, cached_body) == (304, b"")  # bodyless, transfer saved
+        assert cached_headers["ETag"] == etag
+        # The tree changes -> the body changes -> the old tag stops matching.
+        make_run(runs_root, "c-run", result=result_payload(accuracy=0.7))
+        status, new_body, new_headers = http_get_raw(
+            live_server, "/v1/report", headers={"If-None-Match": etag}
+        )
+        assert status == 200
+        assert new_headers["ETag"] != etag
+        assert new_body != body
+
+    def test_if_none_match_grammar(self, live_server):
+        _, _, headers = http_get_raw(live_server, "/v1/summary")
+        etag = headers["ETag"]
+        for value in ("*", f'"nope", {etag}', f"W/{etag}"):
+            status, _, _ = http_get_raw(
+                live_server, "/v1/summary", headers={"If-None-Match": value}
+            )
+            assert status == 304, f"If-None-Match: {value} should revalidate"
+        status, _, _ = http_get_raw(
+            live_server, "/v1/summary", headers={"If-None-Match": '"stale"'}
+        )
+        assert status == 200
+
+    def test_all_report_family_endpoints_carry_etags(self, live_server):
+        for path in ("/v1/report", "/v1/pareto", "/v1/summary"):
+            _, _, headers = http_get_raw(live_server, path)
+            assert "ETag" in headers, f"{path} is missing its ETag"
+
+
+# ----------------------------------------------------------------------
+# The schedule endpoint and scheduler-aware job submission
+# ----------------------------------------------------------------------
+class TestScheduleEndpoint:
+    def test_empty_without_a_schedule(self, live_server):
+        status, body = http_get(live_server, "/v1/sweep/schedule")
+        data = json.loads(body)
+        assert status == 200
+        assert (data["scheduler"], data["candidates"]) == (None, [])
+
+    def test_schedule_round_trip(self, live_server, runs_root):
+        from repro.experiments.schedulers import ASHA, register_candidates
+
+        register_candidates(runs_root, ASHA(eta=2), ["a-run", "b-run"], lock_ttl=60)
+        status, body = http_get(live_server, "/v1/sweep/schedule")
+        data = json.loads(body)
+        assert status == 200
+        schedule = data["scheduler"]
+        assert (schedule["name"], schedule["eta"], schedule["candidates"]) == ("asha", 2, 2)
+        assert [row["name"] for row in data["candidates"]] == ["a-run", "b-run"]
+        assert all(row["decision"] is None for row in data["candidates"])
+
+    def test_summary_carries_the_same_overview(self, live_server, runs_root):
+        from repro.experiments.schedulers import ASHA, register_candidates
+
+        register_candidates(runs_root, ASHA(eta=2), ["a-run", "b-run"], lock_ttl=60)
+        _, summary_body = http_get(live_server, "/v1/summary?refresh=1")
+        _, schedule_body = http_get(live_server, "/v1/sweep/schedule")
+        assert (
+            json.loads(summary_body)["scheduler"] == json.loads(schedule_body)["scheduler"]
+        )
+
+    def test_job_submission_with_scheduler_fields(self, live_server, runs_root):
+        from repro.experiments.schedulers import load_state
+
+        payload = tiny_job_payload(seed=21, scheduler="asha", eta=2, min_steps=1)
+        status, body = http_post(live_server, "/v1/jobs", payload)
+        assert status == 201
+        state = load_state(runs_root)
+        assert state.scheduler == "asha"
+        assert "baseline-cifar-seed21" in state.candidates
+        # A second submission disagreeing on the parameters is rejected —
+        # and must not leave a pending run directory behind.
+        status, body = http_post(
+            live_server, "/v1/jobs", tiny_job_payload(seed=22, scheduler="asha", eta=3)
+        )
+        assert status == 400
+        assert "relaunch with the same parameters" in json.loads(body)["error"]
+        assert not (runs_root / "baseline-cifar-seed22").exists()
+
+    def test_eta_without_scheduler_is_400(self, live_server):
+        status, body = http_post(live_server, "/v1/jobs", tiny_job_payload(seed=23, eta=2))
+        assert status == 400
+        assert "without a scheduler" in json.loads(body)["error"]
 
 
 # ----------------------------------------------------------------------

@@ -46,8 +46,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: ``serve_report`` (warm vs refresh=1 HTTP report) and ``serve_cost_query``
 #: (resident vs rebuilt cost table over HTTP) include per-request socket
 #: round-trips on both sides, so a hard multiple would gate on loopback
-#: noise; they stay ungated until they appear in the committed baseline,
-#: then track relative regressions only.
+#: noise; they are in the committed baseline and gate on relative
+#: regressions only.  ``scheduler_decide`` (cold ASHA coordinator sync vs
+#: warm re-sync on a settled schedule) is cold-vs-warm like the serve
+#: keys — dominated by the browser scan it shares with ``report_scan`` —
+#: and stays ungated until a committed baseline includes it.
 TRACKED_KEYS = frozenset(
     {
         "supernet_step",
@@ -55,6 +58,7 @@ TRACKED_KEYS = frozenset(
         "conv_fwd",
         "serve_report",
         "serve_cost_query",
+        "scheduler_decide",
     }
 )
 
