@@ -312,6 +312,54 @@ def main() -> int:
     results["conv_bwd"] = {"before_s": before, "after_s": after, "speedup": before / after, **conv_meta}
     print(f"conv_bwd:             {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
 
+    # Weight-gradient contraction: the legacy einsum vs the plan-tier
+    # ``ConvPlan.grad_weight`` on the same depthwise geometry, at float32 —
+    # the regime where the plan tier switches to the per-sample batched
+    # matmul fast form.  (At float64 both sides are the identical einsum by
+    # design: the accumulation order is the bit-identity contract.)
+    cols32 = plan.im2col(conv_x.astype(np.float32)).reshape(
+        conv_batch, conv_channels, conv_kernel * conv_kernel, positions
+    )
+    grad32 = (
+        conv_rng.normal(size=(conv_batch, conv_channels, positions))
+        .astype(np.float32)
+        .reshape(conv_batch, conv_channels, 1, positions)
+    )
+
+    def legacy_grad_weight() -> None:
+        np.einsum("ngol,ngkl->gok", grad32, cols32, optimize=True)
+
+    def plan_grad_weight() -> None:
+        plan.grad_weight(grad32, cols32)
+
+    legacy_grad_weight()  # warm the einsum path cache
+    plan_grad_weight()
+    before = _time(legacy_grad_weight, repeats=5)
+    after = _time(plan_grad_weight, repeats=5)
+    results["conv_bwd_weight"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "dtype": "float32",
+        **conv_meta,
+    }
+    print(f"conv_bwd_weight:      {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
+    # Fused soft-gate mixed-op step: legacy lowering (plans disabled) vs the
+    # plan-cached lowering — the full-step view of the trivial-plan 1x1
+    # expand/project path, the cached depthwise gather/fold and the
+    # plan-tier weight gradient working together (float64, bit-identical).
+    before = _with_plans(False, lambda: supernet_step(True))
+    after = _with_plans(True, lambda: supernet_step(True))
+    results["mixedop_step"] = {
+        "before_s": before,
+        "after_s": after,
+        "speedup": before / after,
+        "batch": step_batch,
+        "positions": bench_space.num_searchable,
+    }
+    print(f"mixedop_step:         {before:8.3f} s -> {after:8.4f} s  ({before/after:7.1f}x)")
+
     # ------------------------------------------------------------------
     # 8. Supernet step at float32 (the opt-in train_dtype policy) against
     #    the fused float64 step from section 6 on the same workload

@@ -19,7 +19,7 @@ from repro.autograd.plans import (
     plans_enabled,
     set_plans_enabled,
 )
-from repro.autograd.tensor import Tensor, as_tensor, concatenate, stack, where, no_grad
+from repro.autograd.tensor import Tensor, as_tensor, concatenate, narrow, stack, where, no_grad
 from repro.autograd.module import Module, Parameter
 from repro.autograd import functional
 from repro.autograd.functional import (
@@ -60,6 +60,7 @@ __all__ = [
     "Tensor",
     "as_tensor",
     "concatenate",
+    "narrow",
     "stack",
     "where",
     "no_grad",

@@ -8,11 +8,14 @@ Tensor, using im2col so the heavy lifting happens inside numpy matmuls.
 
 Three raw-speed tiers sit on the hot path (see ``docs/performance.md``):
 
-* **Cached index plans** — im2col/col2im route through the
-  :mod:`repro.autograd.plans` cache: one precomputed gather per forward and
-  one bincount scatter-add per backward, bit-identical to the historical
-  stride-trick/loop reference (kept below as ``_im2col``/``_col2im`` for the
-  benchmark baseline and the parity tests).
+* **Cached index plans** — im2col/col2im *and the weight-gradient
+  contraction* route through the :mod:`repro.autograd.plans` cache: one
+  precomputed gather per forward, one bincount scatter-add per backward and
+  a plan-owned ``grad_weight`` over the same cached columns, bit-identical
+  to the historical stride-trick/loop/einsum reference (kept below as
+  ``_im2col``/``_col2im`` and the ``_grad_weight_contract`` fallback for
+  the benchmark baseline, the parity tests and the ``plans_enabled`` kill
+  switch).  1x1/stride-1/pad-0 geometries use zero-copy trivial plans.
 * **Precision policy** — kernels compute in the tensors' dtype (the
   :mod:`repro.autograd.precision` policy).  At the float64 default the
   contractions are the exact legacy einsums; under the opt-in float32
@@ -35,6 +38,7 @@ from repro.autograd import init
 from repro.autograd.module import Module, Parameter
 from repro.autograd.parallel import batch_spans, get_pool, num_threads
 from repro.autograd.plans import ConvPlan, get_plan, plans_enabled
+from repro.autograd.precision import is_fast_dtype
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.utils.seeding import as_rng
 
@@ -135,22 +139,31 @@ def _fold(
 
 
 # ----------------------------------------------------------------------
-# Grouped contractions with a float32 matmul fast path
+# Grouped contractions: plan-routed weight grad, float32 matmul fast paths
 # ----------------------------------------------------------------------
-def _is_fast_dtype(*arrays: np.ndarray) -> bool:
-    return all(array.dtype == np.float32 for array in arrays)
-
-
 def _forward_contract(weight_grouped: np.ndarray, cols_grouped: np.ndarray) -> np.ndarray:
     """(g, o, k) x (n, g, k, l) -> (n, g, o, l)."""
-    if _is_fast_dtype(weight_grouped, cols_grouped):
+    if is_fast_dtype(weight_grouped, cols_grouped):
         return np.matmul(weight_grouped[None], cols_grouped)
     return np.einsum("gok,ngkl->ngol", weight_grouped, cols_grouped, optimize=True)
 
 
-def _grad_weight_contract(grad_grouped: np.ndarray, cols_grouped: np.ndarray) -> np.ndarray:
-    """(n, g, o, l) x (n, g, k, l) -> (g, o, k)."""
-    if _is_fast_dtype(grad_grouped, cols_grouped):
+def _grad_weight_contract(
+    grad_grouped: np.ndarray,
+    cols_grouped: np.ndarray,
+    plan: Optional[ConvPlan] = None,
+) -> np.ndarray:
+    """(n, g, o, l) x (n, g, k, l) -> (g, o, k).
+
+    With a live plan (and the kill switch on) the contraction is owned by
+    :meth:`ConvPlan.grad_weight` — the plan tier's float64 form is the legacy
+    einsum verbatim, so the routing is bit-transparent; the plans-disabled
+    fallback keeps the historical expressions below so ``plans_enabled(False)``
+    reverts the *entire* lowering, weight gradient included.
+    """
+    if plan is not None and plans_enabled():
+        return plan.grad_weight(grad_grouped, cols_grouped)
+    if is_fast_dtype(grad_grouped, cols_grouped):
         return np.matmul(grad_grouped, np.swapaxes(cols_grouped, -1, -2)).sum(axis=0)
     return np.einsum("ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True)
 
@@ -163,7 +176,7 @@ def _grad_cols_contract(weight_grouped: np.ndarray, grad_grouped: np.ndarray) ->
         # bit-identical however it is computed — and a broadcast multiply
         # beats both einsum and batched matmul.  Safe at float64.
         return np.swapaxes(weight_grouped, -1, -2)[None] * grad_grouped
-    if _is_fast_dtype(weight_grouped, grad_grouped):
+    if is_fast_dtype(weight_grouped, grad_grouped):
         return np.matmul(np.swapaxes(weight_grouped, -1, -2)[None], grad_grouped)
     return np.einsum("gok,ngol->ngkl", weight_grouped, grad_grouped, optimize=True)
 
@@ -227,7 +240,7 @@ def conv2d(
             bias._accumulate(grad.sum(axis=(0, 2)))
         grad_grouped = grad.reshape(n, groups, group_out, out_h * out_w)
         if weight.requires_grad:
-            grad_w = _grad_weight_contract(grad_grouped, cols_grouped)
+            grad_w = _grad_weight_contract(grad_grouped, cols_grouped, plan)
             weight._accumulate(grad_w.reshape(weight.data.shape))
         if x.requires_grad:
             if plan is not None and group_in == 1 and group_out == 1:
@@ -307,7 +320,9 @@ def _conv2d_threaded(
             start, stop = spans[index]
             _, cols_grouped, plan, _ = chunk_results[index]
             chunk_grad = grad_grouped[start:stop]
-            grad_w = _grad_weight_contract(chunk_grad, cols_grouped) if need_weight else None
+            grad_w = (
+                _grad_weight_contract(chunk_grad, cols_grouped, plan) if need_weight else None
+            )
             grad_x = None
             if need_input:
                 if plan is not None and c == groups and out_channels == groups:
@@ -413,6 +428,57 @@ def batch_moments(x: Tensor, axes: Tuple[int, ...]) -> Tuple[Tensor, Tensor]:
     return mean, var
 
 
+def batchnorm_train_fused(
+    x: Tensor,
+    scale: Tensor,
+    shift: Tensor,
+    axes: Tuple[int, ...],
+    eps: float,
+) -> Tuple[Tensor, np.ndarray, np.ndarray]:
+    """Training-mode batch norm as one fused autograd node (float32 fast path).
+
+    The graph path (``batch_moments`` + ``batchnorm_affine``) builds ~10
+    intermediate nodes whose backward re-materialises the centred input
+    several times.  This node computes the standard closed-form batch-norm
+    backward instead::
+
+        dx = inv_std * (dy*s - mean(dy*s) - x_hat * mean(dy*s * x_hat))
+
+    with gradients for ``scale``/``shift`` reduced over ``axes``.  The
+    gradient *through the batch statistics* is included, exactly as in the
+    graph path — only the rounding order differs, which is why this form is
+    reserved for the float32 tolerance regime (callers keep the graph
+    expression verbatim at float64; see :func:`repro.autograd.precision.is_fast_dtype`).
+
+    Returns ``(out, batch_mean, batch_var)`` — the statistics as plain
+    keepdims-shaped arrays for the callers' running-buffer updates.
+    """
+    data = x.data
+    mean = data.mean(axis=axes, keepdims=True)
+    centered = data - mean
+    var = (centered * centered).mean(axis=axes, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = centered * inv_std
+    out_data = x_hat * scale.data + shift.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=out_data.dtype)
+        if shift.requires_grad:
+            shift._accumulate(grad.sum(axis=axes, keepdims=True).reshape(shift.data.shape))
+        if scale.requires_grad:
+            scale._accumulate(
+                (grad * x_hat).sum(axis=axes, keepdims=True).reshape(scale.data.shape)
+            )
+        if x.requires_grad:
+            d_xhat = grad * scale.data
+            d_xhat_mean = d_xhat.mean(axis=axes, keepdims=True)
+            proj = (d_xhat * x_hat).mean(axis=axes, keepdims=True)
+            x._accumulate(inv_std * (d_xhat - d_xhat_mean - x_hat * proj))
+
+    out = Tensor._make(out_data, (x, scale, shift), backward)
+    return out, mean, var
+
+
 class BatchNorm2d(Module):
     """Batch normalisation over the channel dimension of NCHW inputs."""
 
@@ -464,13 +530,19 @@ class BatchNorm2d(Module):
         x = as_tensor(x)
         if x.ndim != 4:
             raise ValueError(f"BatchNorm2d expects NCHW input, got shape {x.shape}")
+        scale = self.weight.reshape(1, self.num_features, 1, 1)
+        shift = self.bias.reshape(1, self.num_features, 1, 1)
         if self.training:
+            if is_fast_dtype(x.data):
+                out, batch_mean, batch_var = batchnorm_train_fused(
+                    x, scale, shift, (0, 2, 3), self.eps
+                )
+                self.update_running(batch_mean.reshape(-1), batch_var.reshape(-1))
+                return out
             mean, var = batch_moments(x, (0, 2, 3))
             self.update_running(mean.data.reshape(-1), var.data.reshape(-1))
         else:
             mean, var = self._eval_stats()
-        scale = self.weight.reshape(1, self.num_features, 1, 1)
-        shift = self.bias.reshape(1, self.num_features, 1, 1)
         return batchnorm_affine(x, mean, var, scale, shift, self.eps)
 
 

@@ -13,6 +13,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.autograd.precision import is_fast_dtype
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.utils.seeding import as_rng
 
@@ -126,11 +127,46 @@ def cross_entropy(
     logits = as_tensor(logits)
     targets = np.asarray(targets, dtype=np.int64).reshape(-1)
     num_classes = logits.shape[-1]
+    if logits.data.ndim == 2 and is_fast_dtype(logits.data):
+        return _cross_entropy_fused(logits, targets, label_smoothing)
     log_probs = log_softmax(logits, axis=-1)
     target_dist = one_hot(targets, num_classes)
     if label_smoothing > 0.0:
         target_dist = target_dist * (1.0 - label_smoothing) + label_smoothing / num_classes
     return -(log_probs * Tensor(target_dist)).sum(axis=-1).mean()
+
+
+def _cross_entropy_fused(logits: Tensor, targets: np.ndarray, label_smoothing: float) -> Tensor:
+    """Cross-entropy as one autograd node (float32 fast path).
+
+    The graph form builds the whole log-softmax subgraph (shift, exp, sum,
+    log, multiply, reductions) whose backward re-walks every node; the fused
+    backward is the closed form ``(softmax - target_dist) / N``.  Same math,
+    different rounding order — reserved for the float32 tolerance regime
+    (the float64 graph path above is fenced by the golden suites).
+    """
+    data = logits.data
+    num_classes = data.shape[-1]
+    shifted = data - data.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    denom = exp.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(denom)
+    target_dist = one_hot(targets, num_classes).astype(data.dtype)
+    if label_smoothing > 0.0:
+        target_dist = target_dist * (1.0 - label_smoothing) + np.asarray(
+            label_smoothing / num_classes, dtype=data.dtype
+        )
+    count = data.shape[0]
+    out_data = np.asarray(-(log_probs * target_dist).sum(axis=-1).mean(), dtype=data.dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if not logits.requires_grad:
+            return
+        upstream = np.asarray(grad, dtype=data.dtype)
+        softmax_vals = exp / denom
+        logits._accumulate((softmax_vals - target_dist) * (upstream / count))
+
+    return Tensor._make(out_data, (logits,), backward)
 
 
 def mse_loss(predictions: Tensor, targets: Union[Tensor, np.ndarray]) -> Tensor:

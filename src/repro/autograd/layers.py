@@ -4,6 +4,13 @@ The evaluator network in the paper is built from five-layer residual MLPs
 with ReLU activations and batch normalisation; this module provides those
 bricks (Linear, BatchNorm1d, Dropout, ReLU, Sequential, ResidualMLPBlock,
 MLP) on top of the autograd engine.
+
+The :mod:`repro.autograd.precision` policy extends here: at the float64
+default every layer runs the original graph expression verbatim (the
+bit-identity regime); under the opt-in float32 policy ``Linear`` collapses
+to one fused matmul+bias node and ``BatchNorm1d`` training statistics run
+through the fused closed-form batch-norm node shared with ``BatchNorm2d``
+(tolerance-equal, like every float32 fast form).
 """
 
 from __future__ import annotations
@@ -13,8 +20,10 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.autograd import init
+from repro.autograd.conv import batchnorm_train_fused
 from repro.autograd.functional import relu, softmax
 from repro.autograd.module import Module, Parameter
+from repro.autograd.precision import is_fast_dtype
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.utils.seeding import as_rng
 
@@ -24,6 +33,31 @@ class Identity(Module):
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         return as_tensor(x)
+
+
+def _linear_fused(x: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """``x @ W.T + b`` as one autograd node (float32 fast path).
+
+    The graph form builds three nodes (transpose, matmul, add) whose
+    backward transposes the weight gradient through an extra copy; the fused
+    backward writes ``grad.T @ x`` / ``grad @ W`` directly.  Same math as
+    the graph path — only the rounding order differs, hence float32-only.
+    """
+    out_data = x.data @ weight.data.T
+    if bias is not None:
+        out_data += bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=out_data.dtype)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate(grad.T @ x.data)
+        if x.requires_grad:
+            x._accumulate(grad @ weight.data)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    return Tensor._make(out_data, parents, backward)
 
 
 class Linear(Module):
@@ -56,6 +90,11 @@ class Linear(Module):
 
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         x = as_tensor(x)
+        fast_arrays = (x.data, self.weight.data) + (
+            (self.bias.data,) if self.bias is not None else ()
+        )
+        if x.data.ndim == 2 and is_fast_dtype(*fast_arrays):
+            return _linear_fused(x, self.weight, self.bias)
         out = x.matmul(self.weight.T)
         if self.bias is not None:
             out = out + self.bias
@@ -95,7 +134,9 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         keep = 1.0 - self.p
-        mask = (self._rng.uniform(size=x.shape) < keep).astype(np.float64) / keep
+        # The mask follows the input dtype so float32 activations are not
+        # silently promoted back to float64 by the multiply.
+        mask = (self._rng.uniform(size=x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)
 
 
@@ -112,19 +153,28 @@ class BatchNorm1d(Module):
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
 
+    def _update_running(self, batch_mean: np.ndarray, batch_var: np.ndarray) -> None:
+        self._buffers["running_mean"][...] = (
+            (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * batch_mean
+        )
+        self._buffers["running_var"][...] = (
+            (1 - self.momentum) * self._buffers["running_var"] + self.momentum * batch_var
+        )
+
     def forward(self, x: Tensor) -> Tensor:  # noqa: D102
         x = as_tensor(x)
         if x.ndim != 2:
             raise ValueError(f"BatchNorm1d expects a 2-D input, got shape {x.shape}")
         if self.training:
+            if is_fast_dtype(x.data):
+                out, batch_mean, batch_var = batchnorm_train_fused(
+                    x, self.weight, self.bias, (0,), self.eps
+                )
+                self._update_running(batch_mean.reshape(-1), batch_var.reshape(-1))
+                return out
             mean = x.mean(axis=0, keepdims=True)
             var = x.var(axis=0, keepdims=True)
-            self._buffers["running_mean"][...] = (
-                (1 - self.momentum) * self._buffers["running_mean"] + self.momentum * mean.data.reshape(-1)
-            )
-            self._buffers["running_var"][...] = (
-                (1 - self.momentum) * self._buffers["running_var"] + self.momentum * var.data.reshape(-1)
-            )
+            self._update_running(mean.data.reshape(-1), var.data.reshape(-1))
         else:
             mean = Tensor(self._buffers["running_mean"].reshape(1, -1))
             var = Tensor(self._buffers["running_var"].reshape(1, -1))

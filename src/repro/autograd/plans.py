@@ -16,6 +16,23 @@ A :class:`ConvPlan` precomputes
   per channel.  col2im becomes one ``np.bincount`` scatter-add per sample
   instead of the ``kh x kw`` Python loop.
 
+Two refinements close the backward hot path (ROADMAP "next rungs"):
+
+* **Trivial plans** — a 1x1/stride-1/pad-0 convolution (every MBConv
+  expand/project pointwise) has an *identity* gather: its columns are the
+  input reshaped.  :attr:`ConvPlan.trivial` short-circuits im2col to a
+  zero-copy reshape and col2im to the inverse reshape (each padded pixel
+  receives exactly one contribution, so the bincount degenerates to the
+  value itself) — bit-identical by construction, and it removes the largest
+  allocations of the pointwise forward and backward.
+* **Plan-tier weight gradients** — :meth:`ConvPlan.grad_weight` owns the
+  ``(n, g, o, l) x (n, g, k, l) -> (g, o, k)`` contraction over the same
+  cached columns the input gradient reuses.  At float64 it is the legacy
+  einsum verbatim (same accumulation order, bit-identical); at float32 it
+  switches to the per-sample batched-``matmul`` fast form (~3x on the
+  depthwise bench geometry, tolerance-equal — float32 is itself a
+  tolerance regime).
+
 Bit-identity: im2col is a pure reordering (no arithmetic), and the bincount
 scatter adds each output pixel's contributions in exactly the (i, j)
 ascending order of the historical loop (``np.bincount`` accumulates its
@@ -38,6 +55,8 @@ from collections import OrderedDict
 from typing import Dict, Tuple
 
 import numpy as np
+
+from repro.autograd.precision import is_fast_dtype
 
 #: Upper bound on cached plans.  A search space reuses a few dozen shapes;
 #: the bound only matters for pathological callers (e.g. a sweep over many
@@ -81,6 +100,7 @@ class ConvPlan:
         "gather_index",
         "scatter_index",
         "scatter_bins",
+        "trivial",
     )
 
     def __init__(
@@ -108,6 +128,9 @@ class ConvPlan:
         self.padding = padding
         self.out_hw = (out_h, out_w)
         self.padded_hw = (pad_h, pad_w)
+        # 1x1/stride-1/pad-0: the gather is the identity permutation, so
+        # im2col/col2im are pure reshapes (see im2col/col2im below).
+        self.trivial = kernel == (1, 1) and stride == (1, 1) and padding == (0, 0)
         # (kh, kw, out_h, out_w) -> flat padded spatial index, flattened in
         # exactly the (c, kh, kw, l) column order of the stride-trick path.
         rows = np.arange(kh)[:, None, None, None] + sh * np.arange(out_h)[None, None, :, None]
@@ -124,10 +147,19 @@ class ConvPlan:
 
     # ------------------------------------------------------------------
     def im2col(self, x: np.ndarray) -> np.ndarray:
-        """Unfold ``x`` (N, C, H, W) into (N, C*kh*kw, out_h*out_w) columns."""
+        """Unfold ``x`` (N, C, H, W) into (N, C*kh*kw, out_h*out_w) columns.
+
+        Trivial plans skip the gather: the columns of a 1x1/s1/p0 convolution
+        *are* the input, so the result is a zero-copy reshape (made
+        contiguous first, so downstream einsums see the exact memory layout
+        the gather would have produced — einsum dispatch, and therefore its
+        float accumulation order, is layout-sensitive).
+        """
         n, c, h, w = x.shape
         kh, kw = self.kernel
         ph, pw = self.padding
+        if self.trivial:
+            return np.ascontiguousarray(x).reshape(n, c, h * w)
         if ph or pw:
             x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
         out_h, out_w = self.out_hw
@@ -144,6 +176,11 @@ class ConvPlan:
         """
         n, c, h, w = self.input_shape
         n = cols.shape[0]  # threaded batch chunks fold fewer samples
+        if self.trivial:
+            # Each pixel receives exactly one contribution; the float64
+            # bincount round-trip of a single value is exact at any dtype,
+            # so the fold degenerates to the inverse reshape.
+            return np.ascontiguousarray(cols).reshape(n, c, h, w)
         ph, pw = self.padding
         pad_h, pad_w = self.padded_hw
         flat_cols = np.ascontiguousarray(cols).reshape(n, -1)
@@ -198,6 +235,27 @@ class ConvPlan:
         if ph or pw:
             folded = folded[:, :, ph : ph + h, pw : pw + w]
         return np.ascontiguousarray(folded)
+
+    def grad_weight(self, grad_grouped: np.ndarray, cols_grouped: np.ndarray) -> np.ndarray:
+        """Weight-gradient contraction ``(n,g,o,l) x (n,g,k,l) -> (g,o,k)``.
+
+        The plan tier owns the contraction so the weight gradient reuses the
+        cached gather columns (for trivial plans, a *view* of the forward
+        input — no column tensor is ever re-materialised) and so the
+        ``plans_enabled`` kill switch covers the whole backward.
+
+        * **float64** — the legacy einsum verbatim.  Its accumulation order
+          is the bit-identity contract fenced by the golden suites; probing
+          every layout/transpose alternative found nothing faster that keeps
+          the same rounding, so the exact expression stays.
+        * **float32** — per-sample batched ``matmul`` + sum over the batch
+          axis, ~3x faster than the einsum on the depthwise bench geometry
+          (``conv_bwd_weight`` bench key); tolerance-equal, which is the
+          float32 regime's contract.
+        """
+        if is_fast_dtype(grad_grouped, cols_grouped):
+            return np.matmul(grad_grouped, np.swapaxes(cols_grouped, -1, -2)).sum(axis=0)
+        return np.einsum("ngol,ngkl->gok", grad_grouped, cols_grouped, optimize=True)
 
 
 def get_plan(

@@ -86,3 +86,15 @@ def use_dtype(dtype: DTypeLike) -> Iterator[np.dtype]:
         yield _default_dtype
     finally:
         set_default_dtype(previous)
+
+
+def is_fast_dtype(*arrays: np.ndarray) -> bool:
+    """Whether every array is in the float32 raw-speed regime.
+
+    Kernels consult this to pick between the bit-identity form (float64:
+    the exact legacy einsum/graph computation, accumulation order frozen)
+    and a tolerance-equal fast form (float32: fused ``matmul``/single-node
+    paths).  Centralised here so conv, linear, batch-norm and loss kernels
+    all draw the line in the same place.
+    """
+    return all(array.dtype == np.float32 for array in arrays)

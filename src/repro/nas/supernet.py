@@ -35,11 +35,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.conv import BatchNorm2d, Conv2d, batch_moments, batchnorm_affine, conv2d
+from repro.autograd.conv import BatchNorm2d, Conv2d
 from repro.autograd.layers import ReLU, Sequential
 from repro.autograd.module import Module
-from repro.autograd.tensor import Tensor, as_tensor, concatenate
-from repro.nas.operations import MBConvOp, SkipConnection, build_op_module
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.nas.operations import MBConvOp, SkipConnection, build_op_module, fused_mbconv_group
 from repro.nas.search_space import FixedLayerConfig, NASSearchSpace, SearchableLayerConfig
 from repro.utils.seeding import as_rng
 
@@ -64,45 +64,6 @@ def _fixed_conv(cfg: FixedLayerConfig, geometry: str, rng) -> Sequential:
         BatchNorm2d(cfg.trainable_out_channels),
         ReLU(),
     )
-
-
-def _fused_batchnorm(x: Tensor, norms: Sequence[BatchNorm2d]) -> Tensor:
-    """Apply several BatchNorm2d layers to their concatenated channel slices.
-
-    Batch statistics are per channel, so normalising the concatenation with
-    concatenated affine parameters matches applying each norm to its own
-    slice; in training mode every layer's running buffers are updated with
-    its slice of the batch statistics, exactly as the unfused path would.
-    The statistics and normalisation math are the shared
-    :func:`~repro.autograd.conv.batch_moments` /
-    :func:`~repro.autograd.conv.batchnorm_affine` helpers that
-    ``BatchNorm2d.forward`` itself uses, so the two paths cannot drift.
-    """
-    first = norms[0]
-    if any(norm.eps != first.eps or norm.training != first.training for norm in norms[1:]):
-        raise ValueError("fused batch norms must share eps and training mode")
-    if first.training:
-        mean, var = batch_moments(x, (0, 2, 3))
-        flat_mean = mean.data.reshape(-1)
-        flat_var = var.data.reshape(-1)
-        offset = 0
-        for norm in norms:
-            count = norm.num_features
-            norm.update_running(
-                flat_mean[offset : offset + count], flat_var[offset : offset + count]
-            )
-            offset += count
-    else:
-        mean = Tensor(
-            np.concatenate([norm._buffers["running_mean"] for norm in norms]).reshape(1, -1, 1, 1)
-        )
-        var = Tensor(
-            np.concatenate([norm._buffers["running_var"] for norm in norms]).reshape(1, -1, 1, 1)
-        )
-    channels = x.shape[1]
-    scale = concatenate([norm.weight for norm in norms], axis=0).reshape(1, channels, 1, 1)
-    shift = concatenate([norm.bias for norm in norms], axis=0).reshape(1, channels, 1, 1)
-    return batchnorm_affine(x, mean, var, scale, shift, first.eps)
 
 
 class MixedOp(Module):
@@ -190,64 +151,26 @@ class MixedOp(Module):
     def _forward_fused(self, x: Tensor, gates: Tensor, indices: List[int]) -> Tensor:
         """Evaluate several MBConv candidates as fused gated batched einsums.
 
-        Candidates are grouped by ``(kind, expansion)`` — within a group the
-        expand and project convolutions have identical shapes, so they (and
-        every batch norm) run once over concatenated channels in one batched
-        einsum each; only the depthwise convolutions, whose kernel sizes
-        differ, run per candidate on their channel slice.  The group result
-        of shape ``(N, G, C_out, H', W')`` is reduced with the gate vector in
-        a single broadcasted multiply + sum, keeping the architecture logits
-        on the gradient path.
+        Candidates are grouped by ``(kind, expansion)`` and each group runs
+        through :func:`~repro.nas.operations.fused_mbconv_group` — expand and
+        project convolutions (and every batch norm) once over concatenated
+        channels, only the depthwise stage per candidate, all lowered through
+        the cached conv-plan tier.  The group result of shape
+        ``(N, G, C_out, H', W')`` is reduced with the gate vector in a single
+        broadcasted multiply + sum, keeping the architecture logits on the
+        gradient path.
         """
         groups: Dict[Tuple[str, int], List[int]] = {}
         for index in indices:
             op = self.op_specs[index]
             groups.setdefault((op.kind, op.expansion), []).append(index)
 
-        n, c, h, w = x.shape
         output: Optional[Tensor] = None
         for group_indices in groups.values():
             modules: List[MBConvOp] = [self.candidates[i] for i in group_indices]
-            group_size = len(modules)
-            first = modules[0]
-            hidden = first.expand[0].out_channels
-
-            # Pointwise expansion: in -> G * hidden in one conv.
-            expand_weight = concatenate([m.expand[0].weight for m in modules], axis=0)
-            out = conv2d(x, expand_weight)
-            out = _fused_batchnorm(out, [m.expand[1] for m in modules]).relu()
-
-            # Depthwise: kernel footprints differ per candidate, so each runs
-            # natively on its channel slice of the fused hidden activation.
-            depthwise_outs = []
-            for position, module in enumerate(modules):
-                conv = module.depthwise[0]
-                piece = out[:, position * hidden : (position + 1) * hidden]
-                depthwise_outs.append(
-                    conv2d(
-                        piece,
-                        conv.weight,
-                        stride=conv.stride,
-                        padding=conv.padding,
-                        groups=hidden,
-                    )
-                )
-            out = concatenate(depthwise_outs, axis=1)
-            out = _fused_batchnorm(out, [m.depthwise[1] for m in modules]).relu()
-
-            # Pointwise projection: each candidate's slice maps hidden -> out.
-            project_weight = concatenate([m.project[0].weight for m in modules], axis=0)
-            out = conv2d(out, project_weight, groups=group_size)
-            out = _fused_batchnorm(out, [m.project[1] for m in modules])
-
-            out_channels = first.out_channels
-            _, _, out_h, out_w = out.shape
-            out = out.reshape(n, group_size, out_channels, out_h, out_w)
-            if first.use_residual:
-                out = out + x.reshape(n, 1, c, h, w)
-
+            out = fused_mbconv_group(x, modules)
             gate_vector = gates[np.asarray(group_indices, dtype=np.int64)]
-            gated = (out * gate_vector.reshape(1, group_size, 1, 1, 1)).sum(axis=1)
+            gated = (out * gate_vector.reshape(1, len(modules), 1, 1, 1)).sum(axis=1)
             output = gated if output is None else output + gated
         return output
 

@@ -19,6 +19,7 @@ from repro.autograd.conv import AvgPool2d, _col2im, _im2col, conv2d
 from repro.autograd.parallel import batch_spans, num_threads
 from repro.autograd.plans import clear_plan_cache, get_plan, plan_cache_info, set_plans_enabled
 from repro.autograd.tensor import Tensor
+from repro.nas.operations import MBConvOp, fused_mbconv_group
 
 
 @pytest.fixture(autouse=True)
@@ -122,6 +123,154 @@ def test_col2im_outer_matches_materialised_fold():
         shape[0], shape[1] * taps, length
     )
     assert np.array_equal(plan.col2im_outer(weight, grad), plan.col2im(explicit))
+
+
+def test_grad_weight_float64_bit_identical_to_einsum():
+    """The plan-tier weight gradient is the legacy einsum verbatim at float64."""
+    rng = np.random.default_rng(12)
+    for shape, kernel, stride, padding, groups in PARITY_GRID:
+        n, cin = shape[0], shape[1]
+        cout = cin if groups == cin else 2 * groups
+        plan = get_plan(shape, kernel, stride, padding)
+        length = plan.out_hw[0] * plan.out_hw[1]
+        taps = (cin // groups) * kernel[0] * kernel[1]
+        cols = rng.normal(size=(n, groups, taps, length))
+        grad = rng.normal(size=(n, groups, cout // groups, length))
+        reference = np.einsum("ngol,ngkl->gok", grad, cols, optimize=True)
+        assert np.array_equal(plan.grad_weight(grad, cols), reference)
+
+
+def test_grad_weight_float32_fast_form_matches_to_tolerance():
+    rng = np.random.default_rng(13)
+    shape, kernel, stride, padding, groups = (2, 8, 8, 8), (7, 7), (1, 1), (3, 3), 8
+    plan = get_plan(shape, kernel, stride, padding)
+    length = plan.out_hw[0] * plan.out_hw[1]
+    cols = rng.normal(size=(2, groups, kernel[0] * kernel[1], length)).astype(np.float32)
+    grad = rng.normal(size=(2, groups, 1, length)).astype(np.float32)
+    fast = plan.grad_weight(grad, cols)
+    reference = np.einsum("ngol,ngkl->gok", grad, cols, optimize=True)
+    assert fast.dtype == np.float32
+    np.testing.assert_allclose(fast, reference, rtol=1e-4, atol=1e-5)
+
+
+class TestTrivialPlans:
+    def test_trivial_flag_only_for_pointwise_identity_geometry(self):
+        assert get_plan((2, 4, 8, 8), (1, 1), (1, 1), (0, 0)).trivial
+        assert not get_plan((2, 4, 8, 8), (1, 1), (2, 2), (0, 0)).trivial
+        assert not get_plan((2, 4, 8, 8), (1, 1), (1, 1), (1, 1)).trivial
+        assert not get_plan((2, 4, 8, 8), (3, 3), (1, 1), (1, 1)).trivial
+
+    def test_trivial_im2col_is_a_zero_copy_view(self):
+        x = np.random.default_rng(14).normal(size=(2, 4, 8, 8))
+        plan = get_plan(x.shape, (1, 1), (1, 1), (0, 0))
+        cols = plan.im2col(x)
+        assert cols.base is x  # contiguous input: a reshape view, no copy
+        cols_ref, _ = _im2col(x, (1, 1), (1, 1), (0, 0))
+        assert np.array_equal(cols, cols_ref)
+
+    def test_trivial_im2col_handles_non_contiguous_input(self):
+        base = np.random.default_rng(15).normal(size=(2, 8, 8, 4))
+        x = base.transpose(0, 3, 1, 2)  # non-contiguous NCHW view
+        plan = get_plan(x.shape, (1, 1), (1, 1), (0, 0))
+        cols_ref, _ = _im2col(x, (1, 1), (1, 1), (0, 0))
+        assert np.array_equal(plan.im2col(x), cols_ref)
+
+    def test_trivial_col2im_is_the_inverse_reshape(self):
+        rng = np.random.default_rng(16)
+        plan = get_plan((3, 5, 6, 7), (1, 1), (1, 1), (0, 0))
+        cols = rng.normal(size=(3, 5, 42))
+        reference = _col2im(cols, (3, 5, 6, 7), (1, 1), (1, 1), (0, 0), (6, 7))
+        assert np.array_equal(plan.col2im(cols), reference)
+
+
+class TestKillSwitch:
+    """``plans_enabled`` must disable every plan route, including mid-run."""
+
+    GEOMETRY = ((3, 6, 8, 8), (3, 3), (1, 1), (1, 1), 3)
+
+    def test_flip_between_forward_and_backward_bit_identical(self):
+        shape, kernel, stride, padding, groups = self.GEOMETRY
+        rng = np.random.default_rng(17)
+        cin = shape[1]
+        x_data = rng.normal(size=shape)
+        w_data = rng.normal(size=(2 * groups, cin // groups, kernel[0], kernel[1]))
+        legacy = _run_conv(x_data, w_data, stride, padding, groups, enabled=False)
+
+        set_plans_enabled(True)
+        x = Tensor(x_data, requires_grad=True)
+        weight = Tensor(w_data, requires_grad=True)
+        bias = Tensor(np.linspace(-1.0, 1.0, w_data.shape[0]), requires_grad=True)
+        out = conv2d(x, weight, bias=bias, stride=stride, padding=padding, groups=groups)
+        set_plans_enabled(False)  # flip mid-run: backward must not regress
+        (out * out).sum().backward()
+
+        for flipped, reference in zip((out.data, x.grad, weight.grad, bias.grad), legacy):
+            assert np.array_equal(flipped, reference)
+
+    def test_disabled_tier_never_builds_plans(self):
+        shape, kernel, stride, padding, groups = self.GEOMETRY
+        rng = np.random.default_rng(18)
+        x_data = rng.normal(size=shape)
+        w_data = rng.normal(size=(2 * groups, shape[1] // groups, kernel[0], kernel[1]))
+        _run_conv(x_data, w_data, stride, padding, groups, enabled=False)
+        assert plan_cache_info() == {"size": 0, "hits": 0, "misses": 0}
+
+
+def _fused_group_run(x_data, enabled):
+    """One fused two-candidate MBConv group forward+backward under a setting."""
+    previous = set_plans_enabled(enabled)
+    try:
+        modules = [
+            MBConvOp(4, 4, kernel_size=3, expansion=3, stride=1, rng=21),
+            MBConvOp(4, 4, kernel_size=5, expansion=3, stride=1, rng=22),
+        ]
+        x = Tensor(x_data, requires_grad=True)
+        out = fused_mbconv_group(x, modules)
+        (out * out).sum().backward()
+        grads = [x.grad]
+        for module in modules:
+            grads.extend(
+                [
+                    module.expand[0].weight.grad,
+                    module.depthwise[0].weight.grad,
+                    module.project[0].weight.grad,
+                    module.expand[1].weight.grad,
+                    module.project[1].bias.grad,
+                ]
+            )
+        buffers = [module.expand[1]._buffers["running_mean"] for module in modules]
+        return [out.data] + grads + buffers
+    finally:
+        set_plans_enabled(previous)
+
+
+class TestFusedMixedOpPlans:
+    def test_fused_group_plan_path_bit_identical_to_legacy(self):
+        x_data = np.random.default_rng(19).normal(size=(2, 4, 8, 8))
+        fast = _fused_group_run(x_data, enabled=True)
+        legacy = _fused_group_run(x_data, enabled=False)
+        assert len(fast) == len(legacy)
+        for fast_arr, legacy_arr in zip(fast, legacy):
+            assert np.array_equal(fast_arr, legacy_arr)
+
+    def test_fused_group_reuses_cached_plans_across_steps(self):
+        x_data = np.random.default_rng(20).normal(size=(2, 4, 8, 8))
+        modules = [
+            MBConvOp(4, 4, kernel_size=3, expansion=3, stride=1, rng=23),
+            MBConvOp(4, 4, kernel_size=5, expansion=3, stride=1, rng=24),
+        ]
+        clear_plan_cache()
+        out = fused_mbconv_group(Tensor(x_data, requires_grad=True), modules)
+        (out * out).sum().backward()
+        first = plan_cache_info()
+        assert first["misses"] > 0
+        # A second step over the same geometry must be all cache hits.
+        out = fused_mbconv_group(Tensor(x_data, requires_grad=True), modules)
+        (out * out).sum().backward()
+        second = plan_cache_info()
+        assert second["misses"] == first["misses"]
+        assert second["hits"] > first["hits"]
+        assert second["size"] == first["size"]
 
 
 def test_avgpool_plan_parity():

@@ -157,6 +157,130 @@ class TestDtypePropagation:
         assert layer.weight.grad.dtype == np.float64
 
 
+class TestFloat32FastKernels:
+    """The fused float32 kernels must match the float64 graph to tolerance.
+
+    Each test runs the float32 fast path, then replays the *same* float32
+    parameter values through the float64 graph expressions (the bit-fenced
+    default path) and compares outputs, input/parameter gradients and — for
+    the batch norms — the running-statistic buffers.
+    """
+
+    RTOL, ATOL = 1e-4, 1e-5
+
+    def test_linear_fused_matches_float64_reference(self):
+        rng = np.random.default_rng(10)
+        x_data = rng.normal(size=(5, 4))
+        with use_dtype("float32"):
+            layer = Linear(4, 3, rng=0)
+            x = Tensor(x_data, requires_grad=True)
+            out = layer(x)
+            (out * out).mean().backward()
+            assert out.data.dtype == np.float32
+            fast = (out.data, x.grad, layer.weight.grad, layer.bias.grad)
+            w64 = layer.weight.data.astype(np.float64)
+            b64 = layer.bias.data.astype(np.float64)
+
+        ref_layer = Linear(4, 3, rng=0)
+        ref_layer.weight.data[...] = w64
+        ref_layer.bias.data[...] = b64
+        ref_x = Tensor(x_data, requires_grad=True)
+        ref_out = ref_layer(ref_x)
+        (ref_out * ref_out).mean().backward()
+        reference = (ref_out.data, ref_x.grad, ref_layer.weight.grad, ref_layer.bias.grad)
+        for fast_arr, ref_arr in zip(fast, reference):
+            np.testing.assert_allclose(fast_arr, ref_arr, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_linear_higher_rank_input_still_correct_in_float32(self):
+        # The fused kernel only claims 2-D inputs; rank-3 must fall back and
+        # still produce the right matmul semantics.
+        rng = np.random.default_rng(11)
+        x_data = rng.normal(size=(2, 5, 4))
+        with use_dtype("float32"):
+            layer = Linear(4, 3, rng=0)
+            out = layer(Tensor(x_data))
+            expected = x_data.astype(np.float32) @ layer.weight.data.T + layer.bias.data
+            np.testing.assert_allclose(out.data, expected, rtol=self.RTOL, atol=self.ATOL)
+
+    def _batchnorm_pair(self, builder, x_shape):
+        """(fast float32 results, float64 reference results) for a BN layer."""
+        rng = np.random.default_rng(12)
+        x_data = rng.normal(size=x_shape)
+        with use_dtype("float32"):
+            norm = builder()
+            norm.train()
+            x = Tensor(x_data, requires_grad=True)
+            out = norm(x)
+            (out * out).mean().backward()
+            fast = (
+                out.data,
+                x.grad,
+                norm.weight.grad,
+                norm.bias.grad,
+                norm._buffers["running_mean"],
+                norm._buffers["running_var"],
+            )
+        assert all(arr.dtype == np.float32 for arr in fast)
+
+        ref = builder()
+        ref.train()
+        ref_x = Tensor(x_data, requires_grad=True)
+        ref_out = ref(ref_x)
+        (ref_out * ref_out).mean().backward()
+        reference = (
+            ref_out.data,
+            ref_x.grad,
+            ref.weight.grad,
+            ref.bias.grad,
+            ref._buffers["running_mean"],
+            ref._buffers["running_var"],
+        )
+        return fast, reference
+
+    def test_batchnorm2d_fused_training_matches_float64_reference(self):
+        fast, reference = self._batchnorm_pair(lambda: BatchNorm2d(6), (4, 6, 5, 5))
+        for fast_arr, ref_arr in zip(fast, reference):
+            np.testing.assert_allclose(fast_arr, ref_arr, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_batchnorm1d_fused_training_matches_float64_reference(self):
+        from repro.autograd import BatchNorm1d
+
+        fast, reference = self._batchnorm_pair(lambda: BatchNorm1d(6), (16, 6))
+        for fast_arr, ref_arr in zip(fast, reference):
+            np.testing.assert_allclose(fast_arr, ref_arr, rtol=self.RTOL, atol=self.ATOL)
+
+    @pytest.mark.parametrize("smoothing", [0.0, 0.1])
+    def test_cross_entropy_fused_matches_float64_reference(self, smoothing):
+        rng = np.random.default_rng(13)
+        logits_data = rng.normal(size=(6, 4))
+        targets = np.array([0, 1, 2, 3, 1, 2])
+        with use_dtype("float32"):
+            logits = Tensor(logits_data, requires_grad=True)
+            loss = cross_entropy(logits, targets, label_smoothing=smoothing)
+            loss.backward()
+            assert loss.data.dtype == np.float32
+            assert logits.grad.dtype == np.float32
+            fast = (loss.data, logits.grad)
+
+        ref_logits = Tensor(logits_data, requires_grad=True)
+        ref_loss = cross_entropy(ref_logits, targets, label_smoothing=smoothing)
+        ref_loss.backward()
+        np.testing.assert_allclose(fast[0], ref_loss.data, rtol=self.RTOL, atol=self.ATOL)
+        np.testing.assert_allclose(fast[1], ref_logits.grad, rtol=self.RTOL, atol=self.ATOL)
+
+    def test_float64_batchnorm_training_unchanged_by_fused_kernel(self):
+        """Float64 training must not take the fused node (golden bit-identity)."""
+        norm = BatchNorm2d(4)
+        norm.train()
+        x = Tensor(np.random.default_rng(14).normal(size=(3, 4, 5, 5)), requires_grad=True)
+        out = norm(x)
+        assert out.data.dtype == np.float64
+        mean = x.data.mean(axis=(0, 2, 3), keepdims=True)
+        var = ((x.data - mean) ** 2).mean(axis=(0, 2, 3), keepdims=True)
+        expected = (x.data - mean) / np.sqrt(var + norm.eps)
+        np.testing.assert_allclose(out.data, expected, rtol=1e-12)
+
+
 class TestConfigPlumbing:
     def test_default_train_dtype(self):
         assert ExperimentConfig().train_dtype == "float64"

@@ -16,11 +16,12 @@ failure mode — losing the vectorised path entirely, which collapses the
 speedup to ~1.  Benchmarks named in :data:`TRACKED_KEYS` (``supernet_step``,
 a modest fused-vs-loop win that is BLAS-parallelism-bound rather than a
 vectorised-vs-scalar chasm) are *tracked*: they are compared and printed,
-but gated only on ``min_ratio * baseline`` — a hard 2x floor on a ~1x
-optimisation would turn runner noise into CI flakes.  Every other key keeps
-the hard floor, whatever its committed baseline says, so a silently
-regressed baseline cannot un-gate a vectorised path.  Exit code 0 when
-every key passes, 1 otherwise.
+but gated only on ``max(KEY_FLOORS, min_ratio * baseline)`` — a hard 2x
+floor on a ~1x optimisation would turn runner noise into CI flakes, so a
+tracked key has an absolute floor only if :data:`KEY_FLOORS` names one.
+Every other key keeps the hard floor, whatever its committed baseline says,
+so a silently regressed baseline cannot un-gate a vectorised path.  Exit
+code 0 when every key passes, 1 otherwise.
 
 Usage::
 
@@ -48,14 +49,21 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: round-trips on both sides, so a hard multiple would gate on loopback
 #: noise; they are in the committed baseline and gate on relative
 #: regressions only.  ``scheduler_decide`` (cold ASHA coordinator sync vs
-#: warm re-sync on a settled schedule) is cold-vs-warm like the serve
-#: keys — dominated by the browser scan it shares with ``report_scan`` —
-#: and stays ungated until a committed baseline includes it.
+#: warm re-sync on a settled schedule) is cold-vs-warm like the serve keys
+#: — dominated by the browser scan it shares with ``report_scan`` — and is
+#: ratio-gated against its committed baseline.  ``mixedop_step`` (fused
+#: soft-gate step, legacy vs plan-cached lowering) is a modest whole-step
+#: win like ``supernet_step``; ``conv_bwd_weight`` (legacy einsum vs the
+#: plan-tier float32 weight-gradient contraction) is tracked for the ratio
+#: but also carries an absolute :data:`KEY_FLOORS` entry — losing the
+#: matmul fast form is the regression it exists to catch.
 TRACKED_KEYS = frozenset(
     {
         "supernet_step",
         "supernet_step_float32",
         "conv_fwd",
+        "conv_bwd_weight",
+        "mixedop_step",
         "serve_report",
         "serve_cost_query",
         "scheduler_decide",
@@ -63,11 +71,14 @@ TRACKED_KEYS = frozenset(
 )
 
 #: Per-benchmark absolute floors that *override* the default ``min_speedup``
-#: for keys whose acceptance criterion is stronger than the generic 2x.
+#: for keys whose acceptance criterion is stronger than the generic 2x (or,
+#: for tracked keys, that add an absolute floor on top of the ratio gate).
 #: ``report_scan`` is the results browser's warm-vs-cold scan: a warm report
 #: over a sweep-sized tree must stay at least 10x faster than a full
 #: re-parse, or the incremental cache has effectively stopped working.
-KEY_FLOORS = {"report_scan": 10.0}
+#: ``conv_bwd_weight`` must hold the 1.5x acceptance criterion of the
+#: plan-tier weight gradient whatever the baseline drifts to.
+KEY_FLOORS = {"report_scan": 10.0, "conv_bwd_weight": 1.5}
 
 
 def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -> list:
@@ -82,8 +93,9 @@ def compare(fresh: dict, baseline: dict, min_ratio: float, min_speedup: float) -
     for key in sorted(baseline.get("results", {})):
         baseline_speedup = float(baseline["results"][key]["speedup"])
         if key in TRACKED_KEYS:
-            # Tracked benchmark: only the relative-regression gate applies.
-            required = min_ratio * baseline_speedup
+            # Tracked benchmark: the relative-regression gate applies, plus
+            # an absolute floor only if KEY_FLOORS names one explicitly.
+            required = max(KEY_FLOORS.get(key, 0.0), min_ratio * baseline_speedup)
         else:
             required = max(KEY_FLOORS.get(key, min_speedup), min_ratio * baseline_speedup)
         if key not in fresh_results:

@@ -12,6 +12,9 @@ check where an autograd change moved the bottleneck::
 legacy im2col/col2im lowering (both documented in docs/performance.md), and
 ``--no-fused`` the per-candidate mixed-op loop instead of the batched
 einsum, so the relative cost of each tier can be read off directly.
+``--backward-only`` builds each step's forward graph outside the profiler
+and profiles just ``backward()`` + the optimiser steps — the view that
+isolates the weight-gradient contraction and the col2im folds.
 """
 
 from __future__ import annotations
@@ -55,6 +58,11 @@ def main() -> int:
         help="per-candidate mixed-op loop instead of the fused batched einsum",
     )
     parser.add_argument(
+        "--backward-only",
+        action="store_true",
+        help="profile only backward() + optimiser steps (forward graph built outside)",
+    )
+    parser.add_argument(
         "--sort",
         default="cumulative",
         choices=["cumulative", "tottime", "ncalls"],
@@ -79,21 +87,37 @@ def main() -> int:
             arch_opt = Adam([arch_params.alpha], lr=0.001)
             images = np.random.default_rng(0).normal(size=(args.batch, 3, 8, 8))
 
-            def step() -> None:
+            def forward():
                 supernet.zero_grad()
                 arch_params.zero_grad()
                 logits = supernet(Tensor(images), softmax(arch_params.alpha, axis=-1))
-                (logits * logits).mean().backward()
+                return (logits * logits).mean()
+
+            def optimise() -> None:
                 weight_opt.step()
                 arch_opt.step()
+
+            def step() -> None:
+                forward().backward()
+                optimise()
 
             step()  # warm caches (conv plans, BLAS) outside the profile
 
             profiler = cProfile.Profile()
-            profiler.enable()
-            for _ in range(args.steps):
-                step()
-            profiler.disable()
+            if args.backward_only:
+                # Build each forward graph un-profiled; profile only the
+                # backward walk and the optimiser updates.
+                for _ in range(args.steps):
+                    loss = forward()
+                    profiler.enable()
+                    loss.backward()
+                    optimise()
+                    profiler.disable()
+            else:
+                profiler.enable()
+                for _ in range(args.steps):
+                    step()
+                profiler.disable()
     finally:
         set_plans_enabled(previous_plans)
 
@@ -103,6 +127,7 @@ def main() -> int:
         f"channels={args.channels}, dtype={'float32' if args.float32 else 'float64'}, "
         f"plans={'off' if args.no_plans else 'on'}, "
         f"fused={'off' if args.no_fused else 'on'}"
+        + (", backward-only" if args.backward_only else "")
     )
     stats.sort_stats(args.sort).print_stats(args.limit)
     if args.output is not None:
